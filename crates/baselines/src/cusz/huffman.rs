@@ -1,0 +1,305 @@
+//! Canonical Huffman coding for quantization codes — the cuSZ encoding
+//! stage whose **CPU-side codebook construction** is the paper's headline
+//! criticism of cuSZ's end-to-end performance (§1, Fig 14).
+
+/// Build Huffman code lengths from symbol frequencies (package-free heap
+/// construction). Returns one length per symbol; unused symbols get 0.
+pub fn build_lengths(freq: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap by weight (BinaryHeap is a max-heap).
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = freq.len();
+    let used: Vec<usize> = (0..n).filter(|&s| freq[s] > 0).collect();
+    let mut lengths = vec![0u8; n];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Internal tree: parents of each node (leaves 0..n, internals appended).
+    let mut parent = vec![usize::MAX; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    for &s in &used {
+        heap.push(Node {
+            weight: freq[s],
+            id: s,
+        });
+    }
+    let mut weights: Vec<u64> = freq.to_vec();
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        let id = parent.len();
+        parent.push(usize::MAX);
+        weights.push(weights[a.id] + weights[b.id]);
+        parent[a.id] = id;
+        parent[b.id] = id;
+        heap.push(Node {
+            weight: weights[id],
+            id,
+        });
+    }
+    for &s in &used {
+        let mut depth = 0u8;
+        let mut node = s;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[s] = depth;
+    }
+    lengths
+}
+
+/// Canonical codebook: `(code, length)` per symbol, assigned in canonical
+/// order (shorter lengths first, then symbol order). Codes are stored
+/// MSB-first in `length` bits.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    /// Code value per symbol (valid when length > 0).
+    pub codes: Vec<u32>,
+    /// Code length per symbol (0 ⇒ unused symbol).
+    pub lengths: Vec<u8>,
+    /// Largest code length.
+    pub max_len: u8,
+}
+
+impl Codebook {
+    /// Canonicalize a set of code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Codebook {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        let mut codes = vec![0u32; lengths.len()];
+        // Sort symbols by (length, symbol).
+        let mut symbols: Vec<usize> = (0..lengths.len()).filter(|&s| lengths[s] > 0).collect();
+        symbols.sort_by_key(|&s| (lengths[s], s));
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &s in &symbols {
+            code <<= lengths[s] - prev_len;
+            codes[s] = code;
+            prev_len = lengths[s];
+            code += 1;
+        }
+        Codebook {
+            codes,
+            lengths: lengths.to_vec(),
+            max_len,
+        }
+    }
+
+    /// Serialized ops a CPU spends building this codebook (for the timing
+    /// model): heap construction plus canonicalization.
+    pub fn build_cost_ops(num_symbols: usize) -> u64 {
+        // ~n log n heap ops with a realistic constant, plus the fixed
+        // driver/alloc overhead the reference incurs per codebook.
+        let n = num_symbols as u64;
+        n * 64 + 500_000
+    }
+}
+
+/// Encode symbols into a bitstream (MSB-first per code). Returns the bit
+/// length.
+pub fn encode(symbols: &[u16], book: &Codebook, out: &mut Vec<u8>) -> usize {
+    let mut bitpos = 0usize;
+    for &s in symbols {
+        let len = book.lengths[s as usize] as usize;
+        debug_assert!(len > 0, "symbol {s} missing from codebook");
+        let code = book.codes[s as usize];
+        for k in (0..len).rev() {
+            let bit = (code >> k) & 1;
+            let byte = bitpos / 8;
+            if byte >= out.len() {
+                out.push(0);
+            }
+            if bit != 0 {
+                out[byte] |= 1 << (7 - bitpos % 8);
+            }
+            bitpos += 1;
+        }
+    }
+    bitpos
+}
+
+/// Decode `count` symbols from a bitstream using a canonical table walk
+/// (first-code/first-symbol per length — O(max_len) per symbol).
+pub fn decode(bits: &[u8], bit_len: usize, count: usize, book: &Codebook) -> Vec<u16> {
+    // Canonical decoding tables.
+    let max = book.max_len as usize;
+    let mut first_code = vec![0u32; max + 2];
+    let mut first_sym_idx = vec![0usize; max + 2];
+    let mut symbols: Vec<usize> = (0..book.lengths.len())
+        .filter(|&s| book.lengths[s] > 0)
+        .collect();
+    symbols.sort_by_key(|&s| (book.lengths[s], s));
+    // Count per length.
+    let mut count_per_len = vec![0usize; max + 1];
+    for &s in &symbols {
+        count_per_len[book.lengths[s] as usize] += 1;
+    }
+    let mut code = 0u32;
+    let mut idx = 0usize;
+    for len in 1..=max {
+        code <<= 1;
+        first_code[len] = code;
+        first_sym_idx[len] = idx;
+        code += count_per_len[len] as u32;
+        idx += count_per_len[len];
+    }
+
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 0usize;
+    for _ in 0..count {
+        let mut code = 0u32;
+        let mut len = 0usize;
+        loop {
+            debug_assert!(pos < bit_len, "bitstream exhausted");
+            let bit = (bits[pos / 8] >> (7 - pos % 8)) & 1;
+            pos += 1;
+            code = (code << 1) | bit as u32;
+            len += 1;
+            let nc = count_per_len.get(len).copied().unwrap_or(0);
+            if nc > 0 && code >= first_code[len] && code < first_code[len] + nc as u32 {
+                let sym = symbols[first_sym_idx[len] + (code - first_code[len]) as usize];
+                out.push(sym as u16);
+                break;
+            }
+            debug_assert!(len <= max, "invalid code in stream");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u16], num_syms: usize) {
+        let mut freq = vec![0u64; num_syms];
+        for &s in symbols {
+            freq[s as usize] += 1;
+        }
+        let lengths = build_lengths(&freq);
+        let book = Codebook::from_lengths(&lengths);
+        let mut bits = Vec::new();
+        let bit_len = encode(symbols, &book, &mut bits);
+        let back = decode(&bits, bit_len, symbols.len(), &book);
+        assert_eq!(back, symbols);
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        roundtrip(&[1, 2, 3, 1, 1, 1, 2, 5, 1, 1], 8);
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        roundtrip(&[7; 100], 16);
+        let mut freq = vec![0u64; 16];
+        freq[7] = 100;
+        let lengths = build_lengths(&freq);
+        assert_eq!(lengths[7], 1);
+        assert!(lengths.iter().enumerate().all(|(s, &l)| s == 7 || l == 0));
+    }
+
+    #[test]
+    fn skewed_distribution_gets_short_codes() {
+        let mut freq = vec![0u64; 1024];
+        freq[512] = 1_000_000; // the "delta = 0" code dominates
+        freq[511] = 1000;
+        freq[513] = 1000;
+        freq[100] = 1;
+        let lengths = build_lengths(&freq);
+        assert_eq!(lengths[512], 1, "dominant symbol must get 1 bit");
+        assert!(lengths[100] >= lengths[511]);
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freq: Vec<u64> = (0..256).map(|i| (i * i + 1) as u64).collect();
+        let lengths = build_lengths(&freq);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2.0f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
+        assert!((kraft - 1.0).abs() < 1e-9, "full tree expected, kraft {kraft}");
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freq: Vec<u64> = vec![5, 9, 12, 13, 16, 45];
+        let lengths = build_lengths(&freq);
+        let book = Codebook::from_lengths(&lengths);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (book.lengths[a], book.lengths[b]);
+                if la <= lb {
+                    let prefix = book.codes[b] >> (lb - la);
+                    assert_ne!(prefix, book.codes[a], "code {a} prefixes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn big_alphabet_roundtrip() {
+        let symbols: Vec<u16> = (0..5000)
+            .map(|i| {
+                // Geometric-ish distribution centered at 512 (cuSZ codes).
+                let j = (i * 2654435761usize) % 100;
+                if j < 70 {
+                    512
+                } else if j < 85 {
+                    511
+                } else if j < 95 {
+                    513
+                } else {
+                    (500 + (i % 25)) as u16
+                }
+            })
+            .collect();
+        roundtrip(&symbols, 1024);
+    }
+
+    #[test]
+    fn empty_frequencies() {
+        let lengths = build_lengths(&[0; 64]);
+        assert!(lengths.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn optimality_sanity_two_symbols() {
+        let lengths = build_lengths(&[10, 1]);
+        assert_eq!(lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn build_cost_is_positive() {
+        assert!(Codebook::build_cost_ops(1024) > 500_000);
+    }
+}

@@ -1,0 +1,220 @@
+//! Multi-dimensional dual-quantization Lorenzo prediction — cuSZ's
+//! prediction stage (paper ref [33]).
+//!
+//! Dual quantization first pre-quantizes every value (`r = round(d/2eb)`),
+//! then predicts each `r` from its already-quantized neighbours with the
+//! d-dimensional Lorenzo stencil. The prediction residual is the
+//! d-dimensional finite difference of `r`, so the inverse is a *separable*
+//! chain of cumulative sums along each axis — which is how cuSZ
+//! parallelizes reverse prediction, and how our decode kernels do too.
+//!
+//! Residuals are clamped into `[−RADIUS, RADIUS)` quantization codes;
+//! out-of-range residuals become **outliers** stored exactly. Code `i`
+//! represents residual `i − RADIUS`; code 0 marks an outlier position.
+
+/// Quantization-code radius (cuSZ default dictionary of 1024 codes).
+pub const RADIUS: i64 = 512;
+/// Dictionary size (codes are `u16` in `[0, 1024)`).
+pub const DICT_SIZE: usize = 2 * RADIUS as usize;
+/// Code marking an outlier position.
+pub const OUTLIER_CODE: u16 = 0;
+
+/// Apply the d-dimensional finite-difference (forward Lorenzo on
+/// pre-quantized integers), in place. `shape` is row-major, ≤ 3 axes
+/// (higher-D callers collapse leading axes first).
+pub fn forward_difference(r: &mut [i64], shape: &[usize]) {
+    assert!((1..=3).contains(&shape.len()));
+    let n: usize = shape.iter().product();
+    assert_eq!(n, r.len());
+    // Differencing along each axis in turn computes the full stencil:
+    // Δ = (I − S_x)(I − S_y)(I − S_z) r, processed high-index→low so each
+    // pass uses original values.
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len() - 1).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    for (axis, &len) in shape.iter().enumerate() {
+        let stride = strides[axis];
+        // For every 1-D line along `axis`, difference from the tail.
+        for_each_line(shape, axis, |base| {
+            for k in (1..len).rev() {
+                let idx = base + k * stride;
+                let prev = base + (k - 1) * stride;
+                r[idx] -= r[prev];
+            }
+        });
+    }
+}
+
+/// Invert [`forward_difference`]: cumulative sums along each axis (the
+/// separable reverse-Lorenzo cuSZ runs as one kernel per axis).
+pub fn inverse_difference(delta: &mut [i64], shape: &[usize]) {
+    assert!((1..=3).contains(&shape.len()));
+    let n: usize = shape.iter().product();
+    assert_eq!(n, delta.len());
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len() - 1).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    for (axis, &len) in shape.iter().enumerate() {
+        let stride = strides[axis];
+        for_each_line(shape, axis, |base| {
+            for k in 1..len {
+                let idx = base + k * stride;
+                let prev = base + (k - 1) * stride;
+                delta[idx] += delta[prev];
+            }
+        });
+    }
+}
+
+/// Invoke `f(base_index)` for every 1-D line of `shape` along `axis`.
+pub fn for_each_line(shape: &[usize], axis: usize, mut f: impl FnMut(usize)) {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len() - 1).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    // Iterate over all coordinates with `axis` fixed at 0. For 1-D fields
+    // the empty product is 1: exactly one line.
+    let other: Vec<usize> = (0..shape.len()).filter(|&d| d != axis).collect();
+    let count: usize = other.iter().map(|&d| shape[d]).product();
+    for flat in 0..count {
+        let mut rem = flat;
+        let mut base = 0usize;
+        for &d in other.iter().rev() {
+            base += (rem % shape[d]) * strides[d];
+            rem /= shape[d];
+        }
+        f(base);
+    }
+}
+
+/// Number of 1-D lines along `axis` (used by kernels to size grids).
+pub fn line_count(shape: &[usize], axis: usize) -> usize {
+    (0..shape.len())
+        .filter(|&d| d != axis)
+        .map(|d| shape[d])
+        .product()
+}
+
+/// Split residuals into codes + outliers. Returns `(codes, outliers)`
+/// where outliers are `(flat index, exact residual)`.
+pub fn to_codes(delta: &[i64]) -> (Vec<u16>, Vec<(u32, i64)>) {
+    let mut codes = Vec::with_capacity(delta.len());
+    let mut outliers = Vec::new();
+    for (i, &d) in delta.iter().enumerate() {
+        if d > -RADIUS && d < RADIUS {
+            let code = (d + RADIUS) as u16;
+            debug_assert_ne!(code, OUTLIER_CODE);
+            codes.push(code);
+        } else {
+            codes.push(OUTLIER_CODE);
+            outliers.push((i as u32, d));
+        }
+    }
+    (codes, outliers)
+}
+
+/// Rebuild residuals from codes + outliers.
+pub fn from_codes(codes: &[u16], outliers: &[(u32, i64)]) -> Vec<i64> {
+    let mut delta: Vec<i64> = codes
+        .iter()
+        .map(|&c| {
+            if c == OUTLIER_CODE {
+                0
+            } else {
+                c as i64 - RADIUS
+            }
+        })
+        .collect();
+    for &(idx, d) in outliers {
+        delta[idx as usize] = d;
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_roundtrip_1d() {
+        let mut r: Vec<i64> = vec![5, 7, 7, 3, -2, 0, 100];
+        let orig = r.clone();
+        forward_difference(&mut r, &[7]);
+        assert_eq!(r[0], 5);
+        assert_eq!(r[1], 2);
+        inverse_difference(&mut r, &[7]);
+        assert_eq!(r, orig);
+    }
+
+    #[test]
+    fn difference_roundtrip_2d_3d() {
+        let mut r2: Vec<i64> = (0..35).map(|i| ((i * 37) % 23) as i64 - 11).collect();
+        let orig2 = r2.clone();
+        forward_difference(&mut r2, &[5, 7]);
+        inverse_difference(&mut r2, &[5, 7]);
+        assert_eq!(r2, orig2);
+
+        let mut r3: Vec<i64> = (0..60).map(|i| ((i * 97) % 41) as i64).collect();
+        let orig3 = r3.clone();
+        forward_difference(&mut r3, &[3, 4, 5]);
+        inverse_difference(&mut r3, &[3, 4, 5]);
+        assert_eq!(r3, orig3);
+    }
+
+    #[test]
+    fn stencil_matches_direct_2d_lorenzo() {
+        // Δ[i,j] = r[i,j] − r[i−1,j] − r[i,j−1] + r[i−1,j−1].
+        let shape = [4usize, 4];
+        let r: Vec<i64> = (0..16).map(|i| ((i * i) % 13) as i64).collect();
+        let at = |v: &[i64], i: i64, j: i64| -> i64 {
+            if i < 0 || j < 0 {
+                0
+            } else {
+                v[(i * 4 + j) as usize]
+            }
+        };
+        let mut d = r.clone();
+        forward_difference(&mut d, &shape);
+        for i in 0..4i64 {
+            for j in 0..4i64 {
+                let expect = at(&r, i, j) - at(&r, i - 1, j) - at(&r, i, j - 1)
+                    + at(&r, i - 1, j - 1);
+                assert_eq!(d[(i * 4 + j) as usize], expect, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_field_gives_tiny_residuals() {
+        let shape = [16usize, 16];
+        let mut r: Vec<i64> = (0..256).map(|i| (i / 16 + i % 16) as i64 * 3).collect();
+        forward_difference(&mut r, &shape);
+        // A plane has zero 2nd differences except on the two leading edges.
+        let r = &r;
+        let interior_max = (1..16)
+            .flat_map(|i| (1..16).map(move |j| r[i * 16 + j].abs()))
+            .max()
+            .unwrap();
+        assert_eq!(interior_max, 0);
+    }
+
+    #[test]
+    fn codes_roundtrip_with_outliers() {
+        let delta = vec![0i64, 5, -511, 511, -512, 512, 10_000, -10_000];
+        let (codes, outliers) = to_codes(&delta);
+        assert_eq!(outliers.len(), 4); // ±512 and ±10000 are out of range
+        assert_eq!(codes[0], RADIUS as u16);
+        assert_eq!(codes[4], OUTLIER_CODE);
+        assert_eq!(from_codes(&codes, &outliers), delta);
+    }
+
+    #[test]
+    fn line_counts() {
+        assert_eq!(line_count(&[5, 7], 0), 7);
+        assert_eq!(line_count(&[5, 7], 1), 5);
+        assert_eq!(line_count(&[3, 4, 5], 1), 15);
+        assert_eq!(line_count(&[9], 0), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the baseline compressors: error-bounded round trips
+//! for cuSZ/cuSZx on arbitrary data, exact fixed-rate accounting for cuZFP.
+
+use baselines::{Compressor, CuszLike, CuszxLike, CuzfpLike};
+use gpu_sim::{DeviceSpec, Gpu};
+use proptest::prelude::*;
+
+fn data_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => -1.0e5f32..1.0e5,
+            1 => -1.0f32..1.0,
+            1 => Just(0.0f32),
+        ],
+        16..400,
+    )
+}
+
+fn check_bound(data: &[f32], recon: &[f32], eb: f64) -> Result<(), TestCaseError> {
+    for (i, (&d, &r)) in data.iter().zip(recon).enumerate() {
+        let err = (d as f64 - r as f64).abs();
+        let slack = (d.abs().max(r.abs()) as f64) * 1.3e-7;
+        prop_assert!(
+            err <= eb * (1.0 + 1e-6) + slack + f64::EPSILON,
+            "index {}: |{} - {}| = {} > {}",
+            i,
+            d,
+            r,
+            err,
+            eb
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cuszx_roundtrip_bound(data in data_strategy(), eb in prop_oneof![Just(0.01f64), Just(1.0), Just(50.0)]) {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let input = gpu.h2d(&data);
+        let comp = CuszxLike::new();
+        let stream = comp.compress(&mut gpu, &input, &[data.len()], eb);
+        let out = comp.decompress(&mut gpu, stream.as_ref());
+        let recon = gpu.d2h(&out);
+        check_bound(&data, &recon, eb)?;
+    }
+
+    #[test]
+    fn cusz_roundtrip_bound(data in data_strategy(), eb in prop_oneof![Just(0.01f64), Just(1.0), Just(50.0)]) {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let input = gpu.h2d(&data);
+        let comp = CuszLike::new();
+        let stream = comp.compress(&mut gpu, &input, &[data.len()], eb);
+        let out = comp.decompress(&mut gpu, stream.as_ref());
+        let recon = gpu.d2h(&out);
+        check_bound(&data, &recon, eb)?;
+    }
+
+    #[test]
+    fn cusz_roundtrip_bound_2d(rows in 4usize..12, cols in 4usize..12, eb in 0.01f64..10.0) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i / cols) as f32 * 0.37).sin() * 100.0 + ((i % cols) as f32 * 0.11).cos() * 40.0)
+            .collect();
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let input = gpu.h2d(&data);
+        let comp = CuszLike::new();
+        let stream = comp.compress(&mut gpu, &input, &[rows, cols], eb);
+        let out = comp.decompress(&mut gpu, stream.as_ref());
+        let recon = gpu.d2h(&out);
+        check_bound(&data, &recon, eb)?;
+    }
+
+    #[test]
+    // 1-D blocks hold 4 values, and 16 budget bits go to the exponent, so
+    // the minimum representable 1-D rate is 5 bits/value.
+    fn cuzfp_size_is_exactly_rate(data in data_strategy(), rate in 5u32..24) {
+        let n = data.len();
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let input = gpu.h2d(&data);
+        let comp = CuzfpLike::new(rate);
+        let stream = comp.compress(&mut gpu, &input, &[n], 0.0);
+        let blocks = n.div_ceil(4);
+        let expect = blocks as u64 * ((rate as u64 * 4).div_ceil(8));
+        prop_assert_eq!(stream.stream_bytes(), expect);
+        // And it must still decode to the right length.
+        let out = comp.decompress(&mut gpu, stream.as_ref());
+        prop_assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn cuzfp_quality_improves_with_rate(seed in 0u64..1000) {
+        let data: Vec<f32> = (0..256)
+            .map(|i| (((i as u64 + seed) as f32) * 0.13).sin() * 100.0)
+            .collect();
+        let mut rmse = Vec::new();
+        for rate in [6u32, 12, 24] {
+            let mut gpu = Gpu::new(DeviceSpec::a100());
+            let input = gpu.h2d(&data);
+            let comp = CuzfpLike::new(rate);
+            let stream = comp.compress(&mut gpu, &input, &[16, 16], 0.0);
+            let out = comp.decompress(&mut gpu, stream.as_ref());
+            let recon = gpu.d2h(&out);
+            let e = (data
+                .iter()
+                .zip(&recon)
+                .map(|(&d, &r)| ((d - r) as f64).powi(2))
+                .sum::<f64>()
+                / 256.0)
+                .sqrt();
+            rmse.push(e);
+        }
+        prop_assert!(rmse[2] <= rmse[1] + 1e-9 && rmse[1] <= rmse[0] + 1e-9, "rmse {:?}", rmse);
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out: block
+//! length, Lorenzo on/off, and the hierarchical scan.
+
+use baselines::common::CuszpAdapter;
+use bench::{bench_field, compress_once, eb_for};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuszp_core::CuszpConfig;
+use datasets::DatasetId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let field = bench_field(DatasetId::Hurricane);
+    let eb = eb_for(&field, 1e-3);
+
+    let mut group = c.benchmark_group("ablation_block_length");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for l in [8usize, 32, 128] {
+        let comp = CuszpAdapter::with_config(CuszpConfig {
+            block_len: l,
+            lorenzo: true,
+        });
+        group.bench_function(format!("L{l}"), |b| {
+            b.iter(|| black_box(compress_once(&comp, black_box(&field), eb)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_lorenzo");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for lorenzo in [true, false] {
+        let comp = CuszpAdapter::with_config(CuszpConfig {
+            block_len: 32,
+            lorenzo,
+        });
+        group.bench_function(if lorenzo { "on" } else { "off" }, |b| {
+            b.iter(|| black_box(compress_once(&comp, black_box(&field), eb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

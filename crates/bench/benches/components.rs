@@ -1,0 +1,70 @@
+//! Component microbenches: the four cuSZp pipeline steps plus the cuSZ
+//! Huffman coder, isolated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data: Vec<f32> = (0..32_768).map(|i| (i as f32 * 0.01).sin() * 100.0).collect();
+    let eb = 0.01;
+
+    let mut group = c.benchmark_group("components");
+
+    group.bench_function("quantize_lorenzo_block", |b| {
+        let mut out = vec![0i64; 32];
+        b.iter(|| {
+            for block in data.chunks(32) {
+                cuszp_core::quantize::quantize_block(black_box(block), eb, true, &mut out);
+            }
+            black_box(out[0])
+        })
+    });
+
+    group.bench_function("plan_block", |b| {
+        let mut resid = vec![0i64; 32];
+        cuszp_core::quantize::quantize_block(&data[..32], eb, true, &mut resid);
+        b.iter(|| black_box(cuszp_core::encode::plan_block(black_box(&resid), 32)))
+    });
+
+    group.bench_function("bitshuffle_roundtrip", |b| {
+        let values: Vec<u64> = (0..32).map(|i| (i * 37) % 1024).collect();
+        let mut planes = vec![0u8; 10 * 4];
+        let mut back = vec![0u64; 32];
+        b.iter(|| {
+            cuszp_core::bitshuffle::shuffle(black_box(&values), 10, &mut planes);
+            cuszp_core::bitshuffle::unshuffle(&planes, 10, &mut back);
+            black_box(back[0])
+        })
+    });
+
+    group.bench_function("host_codec_roundtrip_32k", |b| {
+        let cfg = cuszp_core::CuszpConfig::default();
+        b.iter(|| {
+            let s = cuszp_core::host_ref::compress(black_box(&data), eb, cfg);
+            black_box(cuszp_core::host_ref::decompress::<f32>(&s).len())
+        })
+    });
+
+    group.bench_function("huffman_roundtrip_32k", |b| {
+        let symbols: Vec<u16> = data
+            .iter()
+            .map(|&v| ((v as i32).rem_euclid(1024)) as u16)
+            .collect();
+        let mut freq = vec![0u64; 1024];
+        for &s in &symbols {
+            freq[s as usize] += 1;
+        }
+        let lengths = baselines::cusz::huffman::build_lengths(&freq);
+        let book = baselines::cusz::huffman::Codebook::from_lengths(&lengths);
+        b.iter(|| {
+            let mut bits = Vec::new();
+            let bl = baselines::cusz::huffman::encode(black_box(&symbols), &book, &mut bits);
+            black_box(baselines::cusz::huffman::decode(&bits, bl, symbols.len(), &book).len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig 6 workload: block value-range CDF computation at L = 8 and 32.
+
+use bench::bench_field;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetId;
+use metrics::cdf::BlockRangeCdf;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let field = bench_field(DatasetId::Hurricane);
+    let mut group = c.benchmark_group("fig06_block_cdf");
+    for l in [8usize, 32] {
+        group.bench_function(format!("L{l}"), |b| {
+            b.iter(|| black_box(BlockRangeCdf::compute(black_box(&field.data), l).median()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

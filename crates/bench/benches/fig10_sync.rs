@@ -1,0 +1,33 @@
+//! Fig 10 workload: the hierarchical device-wide prefix sum (Global
+//! Synchronization) over block-size arrays of the four profiled datasets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{DeviceBuffer, DeviceSpec, Gpu};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_global_sync");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [4_096usize, 65_536] {
+        let sizes: Vec<u32> = (0..n as u32).map(|i| 68 + (i % 61)).collect();
+        group.bench_function(format!("exclusive_scan/{n}"), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::a100());
+                let inp = gpu.h2d(&sizes);
+                let out = DeviceBuffer::<u32>::zeroed(n);
+                black_box(gpu_sim::scan::exclusive_scan_u32(
+                    &mut gpu,
+                    black_box(&inp),
+                    &out,
+                    "scan",
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

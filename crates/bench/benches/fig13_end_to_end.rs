@@ -1,0 +1,26 @@
+//! Fig 13 workload: full end-to-end compression pipelines, all four
+//! compressors over the six datasets at REL 1e-2 (rate 8 for cuZFP).
+
+use bench::{all_bench_fields, compress_once, compressors, eb_for};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fields = all_bench_fields();
+    let mut group = c.benchmark_group("fig13_end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (id, field) in &fields {
+        let eb = eb_for(field, 1e-2);
+        for (name, comp) in compressors(8) {
+            group.bench_function(format!("{}/{}", name, id.name()), |b| {
+                b.iter(|| black_box(compress_once(comp.as_ref(), black_box(field), eb)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

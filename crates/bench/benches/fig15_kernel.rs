@@ -1,0 +1,26 @@
+//! Fig 15 workload: kernel-path round trips (compress + decompress) for
+//! the two single-kernel compressors, whose kernel time *is* their
+//! end-to-end time.
+
+use bench::{bench_field, compressors, eb_for, roundtrip_once};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let field = bench_field(DatasetId::Nyx);
+    let eb = eb_for(&field, 1e-2);
+    let mut group = c.benchmark_group("fig15_kernel_roundtrip");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, comp) in compressors(8) {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(roundtrip_once(comp.as_ref(), black_box(&field), eb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

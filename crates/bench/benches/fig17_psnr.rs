@@ -1,0 +1,31 @@
+//! Fig 17/18 workload: the quality metrics themselves (PSNR over a full
+//! field, windowed SSIM over the field's shape).
+
+use bench::{bench_field, eb_for};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuszp_core::Cuszp;
+use datasets::DatasetId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let field = bench_field(DatasetId::Nyx);
+    let codec = Cuszp::new();
+    let eb = eb_for(&field, 1e-3);
+    let stream = cuszp_core::host_ref::compress(&field.data, eb, codec.config);
+    let recon: Vec<f32> = cuszp_core::host_ref::decompress(&stream);
+
+    let mut group = c.benchmark_group("fig17_quality_metrics");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("psnr", |b| {
+        b.iter(|| black_box(metrics::ErrorStats::compute(&field.data, &recon).psnr))
+    });
+    group.bench_function("ssim", |b| {
+        b.iter(|| black_box(metrics::ssim::ssim(&field.data, &recon, &field.shape)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

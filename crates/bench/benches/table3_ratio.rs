@@ -1,0 +1,34 @@
+//! Table 3 workload: the error-bounded compressors across the four REL
+//! bounds (what the compression-ratio table sweeps).
+
+use bench::{bench_field, compress_once, eb_for};
+use baselines::common::CuszpAdapter;
+use baselines::{Compressor, CuszLike, CuszxLike};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::DatasetId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let field = bench_field(DatasetId::Hurricane);
+    let mut group = c.benchmark_group("table3_bounds_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let comps: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("cuSZp", Box::new(CuszpAdapter::new())),
+        ("cuSZ", Box::new(CuszLike::new())),
+        ("cuSZx", Box::new(CuszxLike::new())),
+    ];
+    for rel in [1e-1, 1e-4] {
+        let eb = eb_for(&field, rel);
+        for (name, comp) in &comps {
+            group.bench_function(format!("{name}/rel{rel:e}"), |b| {
+                b.iter(|| black_box(compress_once(comp.as_ref(), black_box(&field), eb)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

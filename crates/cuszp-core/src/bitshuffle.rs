@@ -1,0 +1,116 @@
+//! Step ④ — block bit-shuffle (paper §4.4, Fig 11).
+//!
+//! Rather than packing each value's `F` bits contiguously (which needs
+//! irregular cross-byte shifts whenever `F % 8 ≠ 0`), cuSZp transposes the
+//! bit matrix: output byte `k·L/8 + j` collects bit `k` of values
+//! `8j .. 8j+8`. Every output byte is then built from exactly 8 single-bit
+//! extracts — branch-free and uniform across lanes, which is the property
+//! that makes the step GPU-friendly.
+
+/// Bit-transpose `values[..L]` (each using `f` significant bits) into
+/// `out[..f·L/8]` bytes. `values.len()` must be a multiple of 8.
+pub fn shuffle(values: &[u64], f: u8, out: &mut [u8]) {
+    let l = values.len();
+    debug_assert_eq!(l % 8, 0);
+    let bytes_per_plane = l / 8;
+    debug_assert!(out.len() >= f as usize * bytes_per_plane);
+    for k in 0..f as usize {
+        for j in 0..bytes_per_plane {
+            let mut byte = 0u8;
+            for b in 0..8 {
+                let v = values[8 * j + b];
+                byte |= (((v >> k) & 1) as u8) << b;
+            }
+            out[k * bytes_per_plane + j] = byte;
+        }
+    }
+}
+
+/// Invert [`shuffle`]: rebuild `values[..L]` from `f` bit planes.
+pub fn unshuffle(planes: &[u8], f: u8, values: &mut [u64]) {
+    let l = values.len();
+    debug_assert_eq!(l % 8, 0);
+    let bytes_per_plane = l / 8;
+    debug_assert!(planes.len() >= f as usize * bytes_per_plane);
+    for v in values.iter_mut() {
+        *v = 0;
+    }
+    for k in 0..f as usize {
+        for j in 0..bytes_per_plane {
+            let byte = planes[k * bytes_per_plane + j];
+            for b in 0..8 {
+                values[8 * j + b] |= (((byte >> b) & 1) as u64) << k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small() {
+        let values: Vec<u64> = vec![123, 15, 134, 85, 77, 4, 5, 9];
+        let f = 8u8;
+        let mut planes = vec![0u8; f as usize];
+        shuffle(&values, f, &mut planes);
+        let mut back = vec![0u64; 8];
+        unshuffle(&planes, f, &mut back);
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn fig11_plane_layout() {
+        // Byte 0 must hold the first bit of each of the 8 values.
+        let values: Vec<u64> = vec![1, 0, 1, 1, 0, 0, 1, 0];
+        let mut planes = vec![0u8; 1];
+        shuffle(&values, 1, &mut planes);
+        assert_eq!(planes[0], 0b0100_1101);
+    }
+
+    #[test]
+    fn values_above_f_bits_are_truncated() {
+        // Only F bits survive — the encoder guarantees max|v| < 2^F, so
+        // truncation never loses data in practice; this documents the
+        // contract.
+        let values: Vec<u64> = vec![0b1111, 0, 0, 0, 0, 0, 0, 0];
+        let mut planes = vec![0u8; 2];
+        shuffle(&values, 2, &mut planes);
+        let mut back = vec![0u64; 8];
+        unshuffle(&planes, 2, &mut back);
+        assert_eq!(back[0], 0b11);
+    }
+
+    #[test]
+    fn wide_block_roundtrip() {
+        let values: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) % (1 << 20)).collect();
+        let f = 20u8;
+        let mut planes = vec![0u8; f as usize * 8];
+        shuffle(&values, f, &mut planes);
+        let mut back = vec![0u64; 64];
+        unshuffle(&planes, f, &mut back);
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn f_zero_writes_nothing() {
+        let values = vec![0u64; 8];
+        let mut planes: Vec<u8> = vec![];
+        shuffle(&values, 0, &mut planes);
+        let mut back = vec![7u64; 8];
+        unshuffle(&planes, 0, &mut back);
+        assert_eq!(back, vec![0u64; 8]);
+    }
+
+    #[test]
+    fn full_64_bit_roundtrip() {
+        let values: Vec<u64> = vec![u64::MAX, 0, 1, u64::MAX / 3, 42, 7, 1 << 63, 12345];
+        let f = 64u8;
+        let mut planes = vec![0u8; 64];
+        shuffle(&values, f, &mut planes);
+        let mut back = vec![0u64; 8];
+        unshuffle(&planes, f, &mut back);
+        assert_eq!(back, values);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error-bound modes and compressor configuration (paper §2.1, §4).
+
+use serde::{Deserialize, Serialize};
+
+/// Default block length `L` — the reference cuSZp processes 32 values per
+//  thread, which also caps the compression ratio at `32·4 / 1 = 128`
+/// (Table 3's observed ceiling of 127.99).
+pub const DEFAULT_BLOCK_LEN: usize = 32;
+
+/// User-facing error-bound mode (paper Eq 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ErrorBound {
+    /// Absolute bound δ: `|d_i − d'_i| ≤ δ`.
+    Abs(f64),
+    /// Value-range-relative bound λ: `|d_i − d'_i| ≤ λ · (max − min)`.
+    Rel(f64),
+}
+
+impl ErrorBound {
+    /// Resolve to an absolute bound given the dataset's value range.
+    ///
+    /// # Panics
+    /// Panics if the resolved bound is not finite and positive.
+    pub fn absolute(&self, value_range: f64) -> f64 {
+        let eb = match self {
+            ErrorBound::Abs(d) => *d,
+            ErrorBound::Rel(l) => l * value_range,
+        };
+        assert!(
+            eb.is_finite() && eb > 0.0,
+            "error bound must be positive and finite, got {eb}"
+        );
+        eb
+    }
+
+    /// The paper's four standard REL settings (used across Table 3 and the
+    /// throughput figures).
+    pub fn paper_rel_set() -> [ErrorBound; 4] {
+        [
+            ErrorBound::Rel(1e-1),
+            ErrorBound::Rel(1e-2),
+            ErrorBound::Rel(1e-3),
+            ErrorBound::Rel(1e-4),
+        ]
+    }
+}
+
+impl std::fmt::Display for ErrorBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorBound::Abs(d) => write!(f, "ABS {d:.0e}"),
+            ErrorBound::Rel(l) => write!(f, "REL {l:.0e}"),
+        }
+    }
+}
+
+/// Compressor configuration. The defaults reproduce the paper; the other
+/// knobs exist for the ablation experiments called out in DESIGN.md §5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CuszpConfig {
+    /// Block length `L`; must be a positive multiple of 8.
+    pub block_len: usize,
+    /// Apply the 1-D 1-layer Lorenzo prediction inside blocks (paper §4.1).
+    /// Disabling it is the Fig 4 ablation.
+    pub lorenzo: bool,
+}
+
+impl Default for CuszpConfig {
+    fn default() -> Self {
+        CuszpConfig {
+            block_len: DEFAULT_BLOCK_LEN,
+            lorenzo: true,
+        }
+    }
+}
+
+impl CuszpConfig {
+    /// Validate invariants; call before compressing.
+    ///
+    /// # Panics
+    /// Panics on an unusable configuration.
+    pub fn validate(&self) {
+        assert!(
+            self.block_len >= 8 && self.block_len % 8 == 0,
+            "block_len must be a positive multiple of 8, got {}",
+            self.block_len
+        );
+        assert!(self.block_len <= 4096, "block_len unreasonably large");
+    }
+
+    /// Maximum achievable compression ratio under this configuration
+    /// (an all-zero-block stream still stores one fixed-length byte per
+    /// block).
+    pub fn max_ratio(&self) -> f64 {
+        (self.block_len * 4) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_bound_passthrough() {
+        assert_eq!(ErrorBound::Abs(0.5).absolute(100.0), 0.5);
+    }
+
+    #[test]
+    fn rel_bound_scales_by_range() {
+        assert!((ErrorBound::Rel(1e-2).absolute(50.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bound_rejected() {
+        ErrorBound::Abs(0.0).absolute(1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rel_on_constant_data_rejected() {
+        ErrorBound::Rel(1e-3).absolute(0.0);
+    }
+
+    #[test]
+    fn paper_set_has_four_rel_bounds() {
+        let set = ErrorBound::paper_rel_set();
+        assert_eq!(set.len(), 4);
+        assert!(matches!(set[0], ErrorBound::Rel(r) if (r - 1e-1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn default_config_is_paper_config() {
+        let cfg = CuszpConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.block_len, 32);
+        assert!(cfg.lorenzo);
+        assert_eq!(cfg.max_ratio(), 128.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_block_len_rejected() {
+        CuszpConfig {
+            block_len: 12,
+            lorenzo: true,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ErrorBound::Rel(1e-3)), "REL 1e-3");
+        assert_eq!(format!("{}", ErrorBound::Abs(1e-4)), "ABS 1e-4");
+    }
+}

@@ -1,0 +1,103 @@
+//! Element types the codec supports — the reference cuSZp ships `-f`
+//! (float) and `-d` (double) code paths; this trait folds both into one
+//! generic pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// On-disk tag for the element type of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DType {
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+}
+
+impl DType {
+    /// Header byte for serialization.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            DType::F32 => 0,
+            DType::F64 => 1,
+        }
+    }
+
+    /// Parse the header byte.
+    pub fn from_byte(b: u8) -> Option<DType> {
+        match b {
+            0 => Some(DType::F32),
+            1 => Some(DType::F64),
+            _ => None,
+        }
+    }
+
+    /// Element size in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+}
+
+/// A floating-point element the codec can quantize.
+///
+/// The quantization itself runs in `f64` for both types; the trait carries
+/// the conversions and the stream tag. The error-bound guarantee is exact
+/// in `f64` arithmetic, with reconstruction rounding bounded by one ULP of
+/// the element type (see `verify::check_bound`).
+pub trait FloatData: gpu_sim::DeviceCopy + PartialEq + std::fmt::Debug {
+    /// This type's stream tag.
+    const DTYPE: DType;
+    /// Widen to `f64` for quantization.
+    fn to_f64(self) -> f64;
+    /// Narrow from `f64` after dequantization.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl FloatData for f32 {
+    const DTYPE: DType = DType::F32;
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl FloatData for f64 {
+    const DTYPE: DType = DType::F64;
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        for d in [DType::F32, DType::F64] {
+            assert_eq!(DType::from_byte(d.to_byte()), Some(d));
+        }
+        assert_eq!(DType::from_byte(7), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::F64.size(), 8);
+    }
+
+    #[test]
+    fn conversions_are_exact_for_f64() {
+        let v = 1.234_567_890_123_456_7f64;
+        assert_eq!(f64::from_f64(v.to_f64()), v);
+        assert_eq!(<f64 as FloatData>::DTYPE, DType::F64);
+        assert_eq!(<f32 as FloatData>::DTYPE, DType::F32);
+    }
+}

@@ -1,0 +1,136 @@
+//! Step ② — fixed-length encoding (paper §4.2, Fig 5).
+//!
+//! Inside each block the residuals are split into a sign bitmap and their
+//! absolute values; the block's *fixed length* `F` is the bit position of
+//! the highest set bit of the largest absolute value, and every value keeps
+//! exactly `F` bits. An all-zero block ("zero block") stores nothing beyond
+//! its fixed-length byte `F = 0`. The compressed size follows Eq 2:
+//! `CmpL = (F + 1) · L / 8` bytes (`F·L/8` payload bits + `L/8` sign bytes).
+
+/// Per-block encoding decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// Fixed length `F` in bits (0 ⇒ zero block). At most 64.
+    pub fixed_len: u8,
+    /// Compressed byte count `CmpL` for this block (Eq 2), 0 for zero
+    /// blocks.
+    pub cmp_bytes: u32,
+}
+
+/// Compute `F` and `CmpL` for a block of Lorenzo residuals.
+pub fn plan_block(residuals: &[i64], block_len: usize) -> BlockPlan {
+    debug_assert_eq!(residuals.len(), block_len);
+    let mut max_abs: u64 = 0;
+    for &l in residuals {
+        max_abs = max_abs.max(l.unsigned_abs());
+    }
+    let fixed_len = (64 - max_abs.leading_zeros()) as u8; // 0 when all zero
+    let cmp_bytes = cmp_bytes_for(fixed_len, block_len);
+    BlockPlan {
+        fixed_len,
+        cmp_bytes,
+    }
+}
+
+/// Eq 2: compressed bytes for a block with fixed length `f` (0 ⇒ 0 bytes).
+#[inline]
+pub fn cmp_bytes_for(f: u8, block_len: usize) -> u32 {
+    if f == 0 {
+        0
+    } else {
+        ((f as usize + 1) * block_len / 8) as u32
+    }
+}
+
+/// Build the sign bitmap of a block: bit `e % 8` of byte `e / 8` is 1 iff
+/// `residuals[e]` is negative (paper: "if this integer is positive, cuSZp
+/// will mark it using the bit 0, otherwise bit 1").
+pub fn sign_map(residuals: &[i64], out: &mut [u8]) {
+    debug_assert_eq!(out.len(), residuals.len() / 8);
+    for b in out.iter_mut() {
+        *b = 0;
+    }
+    for (e, &l) in residuals.iter().enumerate() {
+        if l < 0 {
+            out[e / 8] |= 1 << (e % 8);
+        }
+    }
+}
+
+/// Apply a sign bitmap to absolute values, recovering signed residuals.
+pub fn apply_sign_map(abs_vals: &[u64], signs: &[u8], out: &mut [i64]) {
+    debug_assert_eq!(signs.len(), abs_vals.len() / 8);
+    for (e, &a) in abs_vals.iter().enumerate() {
+        let neg = signs[e / 8] & (1 << (e % 8)) != 0;
+        let v = a as i64;
+        out[e] = if neg { -v } else { v };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig5_example() {
+        // Block of 8 with max |l| = 134 ⇒ F = 8, CmpL = (8+1)·8/8 = 9.
+        let residuals = [123i64, -15, 134, -85, 77, 4, -5, 9];
+        let plan = plan_block(&residuals, 8);
+        assert_eq!(plan.fixed_len, 8);
+        assert_eq!(plan.cmp_bytes, 9);
+    }
+
+    #[test]
+    fn paper_sec42_example() {
+        // {1,2,5,11,2,0,0,1} → max 11 ⇒ F = 4.
+        let residuals = [1i64, 2, 5, 11, 2, 0, 0, 1];
+        let plan = plan_block(&residuals, 8);
+        assert_eq!(plan.fixed_len, 4);
+        assert_eq!(plan.cmp_bytes, 5);
+    }
+
+    #[test]
+    fn zero_block_costs_nothing() {
+        let residuals = [0i64; 32];
+        let plan = plan_block(&residuals, 32);
+        assert_eq!(plan.fixed_len, 0);
+        assert_eq!(plan.cmp_bytes, 0);
+    }
+
+    #[test]
+    fn eq2_for_default_block() {
+        // L = 32: CmpL = 4·(F+1).
+        for f in 1..=34u8 {
+            assert_eq!(cmp_bytes_for(f, 32), 4 * (f as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn i64_min_handled() {
+        let residuals = [i64::MIN, 0, 0, 0, 0, 0, 0, 0];
+        let plan = plan_block(&residuals, 8);
+        assert_eq!(plan.fixed_len, 64);
+    }
+
+    #[test]
+    fn sign_map_roundtrip() {
+        let residuals = [3i64, -7, 0, -1, 100, -100, 42, -42];
+        let mut signs = [0u8; 1];
+        sign_map(&residuals, &mut signs);
+        assert_eq!(signs[0], 0b1010_1010);
+        let abs_vals: Vec<u64> = residuals.iter().map(|l| l.unsigned_abs()).collect();
+        let mut back = [0i64; 8];
+        apply_sign_map(&abs_vals, &signs, &mut back);
+        assert_eq!(back, residuals);
+    }
+
+    #[test]
+    fn negative_zero_is_positive() {
+        // l = 0 must never set a sign bit (decoder would produce -0 = 0
+        // anyway, but the bitmap should be canonical).
+        let residuals = [0i64; 8];
+        let mut signs = [0xFFu8; 1];
+        sign_map(&residuals, &mut signs);
+        assert_eq!(signs[0], 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The compressed-stream layout (paper Fig 12) and its file serialization.
+//!
+//! The stream has two fractions: ⓐ one fixed-length byte per block and
+//! ⓑ the shuffled payload (sign map + bit planes per non-zero block,
+//! concatenated at the synchronized offsets). The block-offset array of
+//! Fig 2 is *not* stored — it is recomputed from ⓐ via Eq 2 during
+//! decompression, exactly as the paper describes.
+
+use crate::config::CuszpConfig;
+use crate::dtype::DType;
+use crate::encode::cmp_bytes_for;
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes of the file serialization.
+pub const MAGIC: [u8; 6] = *b"CUSZP1";
+/// Serialized header size in bytes.
+pub const HEADER_BYTES: usize = 6 + 1 + 1 + 8 + 4 + 8;
+
+/// A complete compressed stream plus the metadata needed to decode it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Compressed {
+    /// Element count of the original array.
+    pub num_elements: u64,
+    /// Block length `L` used.
+    pub block_len: u32,
+    /// The *absolute* error bound the stream was quantized with.
+    pub eb: f64,
+    /// Whether Lorenzo prediction was applied.
+    pub lorenzo: bool,
+    /// Element type of the original data.
+    pub dtype: DType,
+    /// Fraction ⓐ: fixed length `F` per block (`num_blocks` bytes).
+    pub fixed_lengths: Vec<u8>,
+    /// Fraction ⓑ: concatenated per-block sign maps + bit planes.
+    pub payload: Vec<u8>,
+}
+
+/// Errors decoding a serialized stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Wrong magic bytes or version.
+    BadMagic,
+    /// Stream shorter than its own accounting claims.
+    Truncated,
+    /// Header fields are internally inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a cuSZp stream (bad magic)"),
+            FormatError::Truncated => write!(f, "stream truncated"),
+            FormatError::Corrupt(why) => write!(f, "corrupt stream: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl Compressed {
+    /// Number of blocks (`⌈N / L⌉`).
+    pub fn num_blocks(&self) -> usize {
+        (self.num_elements as usize).div_ceil(self.block_len as usize)
+    }
+
+    /// The paper's compressed size: fixed-length bytes + payload (what
+    /// compression ratios are computed from).
+    pub fn stream_bytes(&self) -> u64 {
+        (self.fixed_lengths.len() + self.payload.len()) as u64
+    }
+
+    /// Stream size plus the file header.
+    pub fn total_bytes(&self) -> u64 {
+        self.stream_bytes() + HEADER_BYTES as u64
+    }
+
+    /// Expected payload size from the fixed lengths (Eq 2 applied per
+    /// block) — must equal `payload.len()` for a well-formed stream.
+    pub fn expected_payload_bytes(&self) -> u64 {
+        self.fixed_lengths
+            .iter()
+            .map(|&f| cmp_bytes_for(f, self.block_len as usize) as u64)
+            .sum()
+    }
+
+    /// Serialize to a standalone byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.fixed_lengths.len() + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(self.lorenzo as u8);
+        out.push(self.dtype.to_byte());
+        out.extend_from_slice(&self.num_elements.to_le_bytes());
+        out.extend_from_slice(&self.block_len.to_le_bytes());
+        out.extend_from_slice(&self.eb.to_le_bytes());
+        out.extend_from_slice(&self.fixed_lengths);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserialize a stream produced by [`Compressed::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Compressed, FormatError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(FormatError::Truncated);
+        }
+        if bytes[..6] != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let lorenzo = match bytes[6] {
+            0 => false,
+            1 => true,
+            _ => return Err(FormatError::Corrupt("bad lorenzo flag")),
+        };
+        let dtype = DType::from_byte(bytes[7]).ok_or(FormatError::Corrupt("bad dtype"))?;
+        let num_elements = u64::from_le_bytes(bytes[8..16].try_into().expect("len checked"));
+        let block_len = u32::from_le_bytes(bytes[16..20].try_into().expect("len checked"));
+        let eb = f64::from_le_bytes(bytes[20..28].try_into().expect("len checked"));
+        if block_len == 0 || block_len % 8 != 0 {
+            return Err(FormatError::Corrupt("bad block length"));
+        }
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(FormatError::Corrupt("bad error bound"));
+        }
+        let num_blocks = (num_elements as usize).div_ceil(block_len as usize);
+        let fl_end = HEADER_BYTES + num_blocks;
+        if bytes.len() < fl_end {
+            return Err(FormatError::Truncated);
+        }
+        let fixed_lengths = bytes[HEADER_BYTES..fl_end].to_vec();
+        if fixed_lengths.iter().any(|&f| f > 64) {
+            return Err(FormatError::Corrupt("fixed length exceeds 64 bits"));
+        }
+        let expected: u64 = fixed_lengths
+            .iter()
+            .map(|&f| cmp_bytes_for(f, block_len as usize) as u64)
+            .sum();
+        let payload = bytes[fl_end..].to_vec();
+        if (payload.len() as u64) < expected {
+            return Err(FormatError::Truncated);
+        }
+        if (payload.len() as u64) > expected {
+            return Err(FormatError::Corrupt("trailing bytes"));
+        }
+        Ok(Compressed {
+            num_elements,
+            block_len,
+            eb,
+            lorenzo,
+            dtype,
+            fixed_lengths,
+            payload,
+        })
+    }
+
+    /// Cheap structural sanity check: payload length matches Eq 2.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        CuszpConfig {
+            block_len: self.block_len as usize,
+            lorenzo: self.lorenzo,
+        }
+        .validate();
+        if self.fixed_lengths.len() != self.num_blocks() {
+            return Err(FormatError::Corrupt("fixed-length array size"));
+        }
+        if self.expected_payload_bytes() != self.payload.len() as u64 {
+            return Err(FormatError::Corrupt("payload size vs Eq 2"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Compressed {
+        Compressed {
+            num_elements: 40,
+            block_len: 32,
+            eb: 0.01,
+            lorenzo: true,
+            dtype: DType::F32,
+            fixed_lengths: vec![3, 0],
+            payload: vec![0xAB; 16], // (3+1)*32/8 = 16
+        }
+    }
+
+    #[test]
+    fn accounting() {
+        let c = sample();
+        assert_eq!(c.num_blocks(), 2);
+        assert_eq!(c.stream_bytes(), 18);
+        assert_eq!(c.expected_payload_bytes(), 16);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        assert_eq!(bytes.len() as u64, c.total_bytes());
+        let back = Compressed::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Compressed::from_bytes(&bytes), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        assert_eq!(
+            Compressed::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(FormatError::Truncated)
+        );
+        assert_eq!(Compressed::from_bytes(&bytes[..4]), Err(FormatError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Compressed::from_bytes(&bytes),
+            Err(FormatError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_fixed_length_rejected() {
+        let mut c = sample();
+        c.fixed_lengths[1] = 65;
+        let bytes = c.to_bytes();
+        assert!(Compressed::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn validate_catches_payload_mismatch() {
+        let mut c = sample();
+        c.payload.pop();
+        assert!(c.validate().is_err());
+    }
+}

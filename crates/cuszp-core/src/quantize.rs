@@ -1,0 +1,129 @@
+//! Step ① — pre-quantization and 1-D 1-layer Lorenzo prediction
+//! (paper §4.1, Fig 4). The *only* lossy step in the pipeline.
+
+use crate::dtype::FloatData;
+
+/// Quantize one value: `r = round(d / 2eb)`, guaranteeing
+/// `|r·2eb − d| ≤ eb` (paper §4.1). Works for `f32` and `f64` elements.
+#[inline]
+pub fn quantize<T: FloatData>(d: T, eb: f64) -> i64 {
+    (d.to_f64() / (2.0 * eb)).round() as i64
+}
+
+/// Reconstruct one value from its quantization integer: `d' = r·2eb`.
+#[inline]
+pub fn dequantize<T: FloatData>(r: i64, eb: f64) -> T {
+    T::from_f64(r as f64 * 2.0 * eb)
+}
+
+/// Quantize a block and (optionally) apply the Lorenzo transform in place:
+/// `l_i = r_i − r_{i−1}` with `r_{−1} = 0`. Writes into `out[..block.len()]`.
+///
+/// The recurrence stays inside the block, which is what makes the step
+/// embarrassingly parallel across blocks (paper §4.1).
+pub fn quantize_block<T: FloatData>(block: &[T], eb: f64, lorenzo: bool, out: &mut [i64]) {
+    debug_assert!(out.len() >= block.len());
+    let mut prev = 0i64;
+    for (i, &d) in block.iter().enumerate() {
+        let r = quantize(d, eb);
+        out[i] = if lorenzo { r - prev } else { r };
+        if lorenzo {
+            prev = r;
+        }
+    }
+}
+
+/// Invert [`quantize_block`]: recover quantization integers from Lorenzo
+/// residuals (prefix sum) and dequantize into `out`.
+pub fn reconstruct_block<T: FloatData>(residuals: &[i64], eb: f64, lorenzo: bool, out: &mut [T]) {
+    debug_assert!(out.len() >= residuals.len());
+    let mut acc = 0i64;
+    for (i, &l) in residuals.iter().enumerate() {
+        let r = if lorenzo {
+            acc += l;
+            acc
+        } else {
+            l
+        };
+        out[i] = dequantize(r, eb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_respects_bound() {
+        let eb = 0.01;
+        for d in [-5.0f32, -0.015, 0.0, 0.004, 1.0, 123.456] {
+            let r = quantize(d, eb);
+            let d2: f32 = dequantize(r, eb);
+            assert!(
+                (d as f64 - d2 as f64).abs() <= eb * (1.0 + 1e-6),
+                "d={d} r={r} d2={d2}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_below_eb_quantize_to_zero() {
+        let eb = 0.5;
+        assert_eq!(quantize(0.4f32, eb), 0);
+        assert_eq!(quantize(-0.49f32, eb), 0);
+        assert_ne!(quantize(0.6f32, eb), 0);
+    }
+
+    #[test]
+    fn lorenzo_roundtrip() {
+        let block = [1.0f32, 1.1, 1.25, 1.19, 0.0, -3.0, -2.9, 100.0];
+        let eb = 0.05;
+        let mut resid = [0i64; 8];
+        quantize_block(&block, eb, true, &mut resid);
+        let mut recon = [0.0f32; 8];
+        reconstruct_block(&resid, eb, true, &mut recon);
+        for (d, d2) in block.iter().zip(&recon) {
+            assert!((*d as f64 - *d2 as f64).abs() <= eb * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn lorenzo_shrinks_smooth_residuals() {
+        // Paper Fig 4: on smooth data the residual magnitudes collapse.
+        let block: Vec<f32> = (0..32).map(|i| 100.0 + i as f32 * 0.1).collect();
+        let eb = 0.01;
+        let mut with = [0i64; 32];
+        let mut without = [0i64; 32];
+        quantize_block(&block, eb, true, &mut with);
+        quantize_block(&block, eb, false, &mut without);
+        let max_with = with.iter().skip(1).map(|l| l.unsigned_abs()).max().unwrap();
+        let max_without = without.iter().map(|l| l.unsigned_abs()).max().unwrap();
+        assert!(
+            max_with * 100 < max_without,
+            "with {max_with} vs without {max_without}"
+        );
+    }
+
+    #[test]
+    fn no_lorenzo_roundtrip() {
+        let block = [0.5f32, -0.5, 2.0];
+        let eb = 0.1;
+        let mut resid = [0i64; 3];
+        quantize_block(&block, eb, false, &mut resid);
+        let mut recon = [0.0f32; 3];
+        reconstruct_block(&resid, eb, false, &mut recon);
+        for (d, d2) in block.iter().zip(&recon) {
+            assert!((*d as f64 - *d2 as f64).abs() <= eb * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn idempotent_at_fixed_point() {
+        // Quantizing an already-reconstructed value reproduces it exactly.
+        let eb = 0.01;
+        let d = 7.7733f32;
+        let d1: f32 = dequantize(quantize(d, eb), eb);
+        let d2: f32 = dequantize(quantize(d1, eb), eb);
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error-bound verification (the artifact's "Pass error check!").
+
+/// Largest pointwise absolute error between two equal-length arrays.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn max_abs_error(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&o, &r)| (o as f64 - r as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// True iff every element respects the bound up to f32 representability.
+///
+/// The quantization guarantee `|r·2eb − d| ≤ eb` holds in exact arithmetic;
+/// storing the reconstruction as `f32` adds at most half a ULP of its
+/// magnitude (`|d'|·2⁻²⁴`). When `eb` is smaller than that ULP — i.e. the
+/// user demands more precision than `f32` itself carries — no compressor
+/// with `f32` output can do better, and the reference cuSZp has the same
+/// contract. REL bounds ≥ 1e-7 never hit this regime.
+pub fn check_bound(original: &[f32], reconstructed: &[f32], eb: f64) -> bool {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    original.iter().zip(reconstructed).all(|(&o, &r)| {
+        let err = (o as f64 - r as f64).abs();
+        let ulp_slack = (o.abs().max(r.abs()) as f64) * 2.0f64.powi(-23);
+        err <= eb * (1.0 + 1e-6) + ulp_slack + f64::EPSILON
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_passes() {
+        let d = vec![1.0f32, 2.0];
+        assert_eq!(max_abs_error(&d, &d), 0.0);
+        assert!(check_bound(&d, &d, 1e-12));
+    }
+
+    #[test]
+    fn violation_detected() {
+        let o = vec![1.0f32];
+        let r = vec![1.2f32];
+        assert!(!check_bound(&o, &r, 0.1));
+        assert!(check_bound(&o, &r, 0.21));
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        max_abs_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! A named, shaped array of `f32` — one "field" of a scientific dataset.
+
+use serde::{Deserialize, Serialize};
+
+/// One scalar field: a flat `f32` array plus its logical shape (row-major,
+/// last axis fastest — matching SDRBench's raw `.f32` layout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name, e.g. `"U"`, `"temperature"`, `"vx"`.
+    pub name: String,
+    /// Logical shape; 1 to 4 axes. `shape.iter().product() == data.len()`.
+    pub shape: Vec<usize>,
+    /// The values, row-major.
+    pub data: Vec<f32>,
+}
+
+impl Field {
+    /// Build a field, checking that the shape matches the data length.
+    ///
+    /// # Panics
+    /// Panics if `shape.iter().product() != data.len()` or if the shape has
+    /// zero or more than four axes.
+    pub fn new(name: impl Into<String>, shape: Vec<usize>, data: Vec<f32>) -> Self {
+        assert!(
+            (1..=4).contains(&shape.len()),
+            "fields are 1-D to 4-D, got {} axes",
+            shape.len()
+        );
+        let expect: usize = shape.iter().product();
+        assert_eq!(expect, data.len(), "shape/data mismatch");
+        Field {
+            name: name.into(),
+            shape,
+            data,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the field has no elements (never produced by generators).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Size in bytes of the raw data.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * 4) as u64
+    }
+
+    /// `(min, max)` over all values. NaNs are not produced by generators
+    /// and are ignored here.
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// `max − min`: the denominator of value-range-relative (REL) error
+    /// bounds (paper §2.1).
+    pub fn value_range(&self) -> f32 {
+        let (lo, hi) = self.min_max();
+        hi - lo
+    }
+
+    /// Extract a 2-D slice for visualization. For a 3-D field, fixes the
+    /// *first* axis at `index` and returns the remaining 2-D plane (shape
+    /// `[shape[1], shape[2]]`); for a 2-D field returns a copy; for 1-D or
+    /// 4-D fields, reshapes the first plane-worth of data.
+    ///
+    /// Mirrors QCAT's `PlotSliceImage -p <axis> -s <index>` behaviour
+    /// closely enough for the paper's slice figures.
+    pub fn slice2d(&self, index: usize) -> (usize, usize, Vec<f32>) {
+        match self.shape.len() {
+            2 => (self.shape[0], self.shape[1], self.data.clone()),
+            3 => {
+                let (nz, ny, nx) = (self.shape[0], self.shape[1], self.shape[2]);
+                assert!(index < nz, "slice index out of range");
+                let plane = &self.data[index * ny * nx..(index + 1) * ny * nx];
+                (ny, nx, plane.to_vec())
+            }
+            4 => {
+                let (nw, nz, ny, nx) = (
+                    self.shape[0],
+                    self.shape[1],
+                    self.shape[2],
+                    self.shape[3],
+                );
+                let per_w = nz * ny * nx;
+                let w = index.min(nw - 1);
+                let plane = &self.data[w * per_w..w * per_w + ny * nx];
+                (ny, nx, plane.to_vec())
+            }
+            _ => {
+                // 1-D: wrap into a roughly square raster.
+                let side = (self.data.len() as f64).sqrt() as usize;
+                let side = side.max(1);
+                let rows = self.data.len() / side;
+                (
+                    rows,
+                    side,
+                    self.data[..rows * side].to_vec(),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shape() {
+        let f = Field::new("x", vec![2, 3], (0..6).map(|v| v as f32).collect());
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.ndim(), 2);
+        assert_eq!(f.size_bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_mismatched_shape() {
+        Field::new("x", vec![2, 3], vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_5d() {
+        Field::new("x", vec![1, 1, 1, 1, 1], vec![0.0]);
+    }
+
+    #[test]
+    fn min_max_and_range() {
+        let f = Field::new("x", vec![4], vec![-1.5, 0.0, 2.5, 1.0]);
+        assert_eq!(f.min_max(), (-1.5, 2.5));
+        assert_eq!(f.value_range(), 4.0);
+    }
+
+    #[test]
+    fn slice2d_of_3d_takes_plane() {
+        let data: Vec<f32> = (0..24).map(|v| v as f32).collect();
+        let f = Field::new("x", vec![2, 3, 4], data);
+        let (h, w, plane) = f.slice2d(1);
+        assert_eq!((h, w), (3, 4));
+        assert_eq!(plane[0], 12.0);
+        assert_eq!(plane.len(), 12);
+    }
+
+    #[test]
+    fn slice2d_of_1d_rasterizes() {
+        let f = Field::new("x", vec![10], (0..10).map(|v| v as f32).collect());
+        let (h, w, plane) = f.slice2d(0);
+        assert_eq!(h * w, plane.len());
+        assert!(!plane.is_empty());
+    }
+
+    #[test]
+    fn slice2d_of_4d_takes_first_plane_of_w() {
+        let data: Vec<f32> = (0..2 * 2 * 3 * 4).map(|v| v as f32).collect();
+        let f = Field::new("x", vec![2, 2, 3, 4], data);
+        let (h, w, plane) = f.slice2d(1);
+        assert_eq!((h, w), (3, 4));
+        assert_eq!(plane[0], 24.0);
+    }
+}

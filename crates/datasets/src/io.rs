@@ -1,0 +1,92 @@
+//! Raw `.f32` file I/O in SDRBench's format: a flat little-endian stream of
+//! IEEE-754 single-precision values with no header.
+
+use crate::field::Field;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write values as little-endian `f32` (the format `compx` consumes in the
+/// paper's artifact appendix).
+pub fn write_f32_le(path: &Path, data: &[f32]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for &v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a little-endian `f32` stream.
+///
+/// Returns an error if the file length is not a multiple of 4.
+pub fn read_f32_le(path: &Path) -> io::Result<Vec<f32>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() % 4 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file length {} is not a multiple of 4", bytes.len()),
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Write a [`Field`]'s data (shape is not stored — SDRBench convention is
+/// that dimensions travel out of band).
+pub fn write_field(path: &Path, field: &Field) -> io::Result<()> {
+    write_f32_le(path, &field.data)
+}
+
+/// Read a raw stream and wrap it as a 1-D field named after the file stem.
+pub fn read_field_1d(path: &Path) -> io::Result<Field> {
+    let data = read_f32_le(path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "field".to_string());
+    let len = data.len();
+    Ok(Field::new(name, vec![len], data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cuszp_io_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip.f32");
+        let data = vec![1.0f32, -2.5, 3.25e-7, f32::MAX, 0.0];
+        write_f32_le(&path, &data).unwrap();
+        assert_eq!(read_f32_le(&path).unwrap(), data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let path = tmp("bad.f32");
+        std::fs::write(&path, [0u8; 7]).unwrap();
+        assert!(read_f32_le(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn field_roundtrip_names_from_stem() {
+        let path = tmp("myfield.f32");
+        let f = Field::new("orig", vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        write_field(&path, &f).unwrap();
+        let back = read_field_1d(&path).unwrap();
+        assert_eq!(back.data, f.data);
+        assert!(back.name.contains("myfield"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,171 @@
+//! NYX stand-in (cosmological hydrodynamics, 3-D 512³, 6 fields).
+//!
+//! NYX fields split into two statistical families the paper's results hinge
+//! on: *density-like* fields (`baryon_density`, `dark_matter_density`,
+//! `temperature`) are log-normal with enormous dynamic range — under a REL
+//! error bound most of the volume quantizes to zero, giving the very high
+//! max CRs in Table 3 (up to 127.99) — while *velocity* fields are smooth
+//! signed fields whose range comes from localized infall flows. Field
+//! order interleaves the families so prefix subsets stay representative.
+
+use crate::field::Field;
+use crate::spectral::{
+    concentrate, gaussian_random_field, k_for, lognormalize, rescale, rescale_signed, seed_from,
+    GrfSpec,
+};
+
+/// Field names, matching SDRBench's NYX archive (interleaved families).
+pub const FIELDS: [&str; 6] = [
+    "baryon_density",
+    "velocity_x",
+    "temperature",
+    "velocity_y",
+    "dark_matter_density",
+    "velocity_z",
+];
+
+/// Generate one NYX field at the given grid shape.
+pub fn field(name: &str, shape: &[usize]) -> Field {
+    let seed = seed_from(&["nyx", name]);
+    let data = match name {
+        "baryon_density" => {
+            let spec = GrfSpec {
+                modes: 96,
+                slope: 3.0,
+                k_max: k_for(shape, 40.0),
+                noise: 0.0,
+                anisotropy: [1.8, 1.8, 1.0, 1.0],
+            };
+            let mut d = gaussian_random_field(shape, &spec, seed);
+            lognormalize(&mut d, 4.5);
+            rescale(&mut d, 0.0856, 48_156.0);
+            d
+        }
+        "dark_matter_density" => {
+            let spec = GrfSpec {
+                modes: 96,
+                slope: 2.8,
+                k_max: k_for(shape, 36.0),
+                noise: 0.0,
+                anisotropy: [1.8, 1.8, 1.0, 1.0],
+            };
+            let mut d = gaussian_random_field(shape, &spec, seed);
+            lognormalize(&mut d, 4.8);
+            // Dark-matter density has a hard floor at 0 with a large
+            // near-empty volume fraction.
+            let cut = 1.0;
+            for v in d.iter_mut() {
+                *v = (*v - cut).max(0.0);
+            }
+            rescale(&mut d, 0.0, 13_779.0);
+            d
+        }
+        "temperature" => {
+            let spec = GrfSpec {
+                modes: 80,
+                slope: 3.2,
+                k_max: k_for(shape, 36.0),
+                noise: 1.0e-4,
+                anisotropy: [1.8, 1.8, 1.0, 1.0],
+            };
+            let mut d = gaussian_random_field(shape, &spec, seed);
+            lognormalize(&mut d, 2.6);
+            rescale(&mut d, 2_281.0, 4_782_583.0);
+            d
+        }
+        // Velocities: smooth flows whose *magnitude* is log-normally
+        // modulated — quiescent voids move slowly, infall streams near
+        // halos carry the range. The same mechanism as the density fields,
+        // signed.
+        _ => {
+            let spec = GrfSpec {
+                modes: 72,
+                slope: 3.6,
+                k_max: k_for(shape, 32.0),
+                noise: 2.0e-4,
+                anisotropy: [1.8, 1.8, 1.0, 1.0],
+            };
+            let mut d = gaussian_random_field(shape, &spec, seed);
+            let mag = gaussian_random_field(
+                shape,
+                &GrfSpec {
+                    modes: 64,
+                    slope: 3.2,
+                    k_max: k_for(shape, 40.0),
+                    noise: 0.0,
+                anisotropy: [1.8, 1.8, 1.0, 1.0],
+                },
+                seed ^ 0x7777,
+            );
+            for (v, &m) in d.iter_mut().zip(&mag) {
+                *v *= (1.8 * m).exp();
+            }
+            concentrate(&mut d, 1.4);
+            rescale_signed(&mut d, -8.3e6, 9.1e6);
+            d
+        }
+    };
+    Field::new(name, shape.to_vec(), data)
+}
+
+/// Generate the full 6-field dataset at `shape`.
+pub fn generate(shape: &[usize]) -> Vec<Field> {
+    FIELDS.iter().map(|name| field(name, shape)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_fields_with_shape() {
+        let fields = generate(&[8, 8, 8]);
+        assert_eq!(fields.len(), 6);
+        assert!(fields.iter().all(|f| f.len() == 512));
+    }
+
+    #[test]
+    fn densities_are_nonnegative_heavy_tailed() {
+        let f = field("baryon_density", &[16, 16, 16]);
+        assert!(f.data.iter().all(|&v| v >= 0.0));
+        let (lo, hi) = f.min_max();
+        assert!(hi / lo.max(1e-3) > 1_000.0, "needs huge dynamic range");
+        // Median far below the mean (heavy right tail).
+        let mut sorted = f.data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2] as f64;
+        let mean = f.data.iter().map(|&v| v as f64).sum::<f64>() / f.len() as f64;
+        assert!(median < mean);
+    }
+
+    #[test]
+    fn dark_matter_has_empty_voids() {
+        let f = field("dark_matter_density", &[16, 16, 16]);
+        let zeros = f.data.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > f.len() / 10, "voids expected, got {zeros}");
+    }
+
+    #[test]
+    fn velocity_is_signed_and_concentrated() {
+        let f = field("velocity_x", &[16, 16, 16]);
+        assert!(f.data.iter().any(|&v| v < 0.0));
+        assert!(f.data.iter().any(|&v| v > 0.0));
+        let range = f.value_range();
+        let small = f.data.iter().filter(|v| v.abs() < 0.1 * range).count();
+        assert!(small > f.len() / 2, "bulk should sit near zero");
+    }
+
+    #[test]
+    fn deterministic_per_field() {
+        assert_eq!(field("temperature", &[8, 8, 8]), field("temperature", &[8, 8, 8]));
+        assert_ne!(
+            field("velocity_x", &[8, 8, 8]).data,
+            field("velocity_y", &[8, 8, 8]).data
+        );
+    }
+
+    #[test]
+    fn prefix_mixes_families() {
+        assert_eq!(&FIELDS[..2], &["baryon_density", "velocity_x"]);
+    }
+}

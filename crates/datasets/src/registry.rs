@@ -1,0 +1,263 @@
+//! The dataset catalog: Table 2 of the paper, mapped to generator calls at
+//! configurable scales.
+
+use crate::field::Field;
+use crate::{cesm, hacc, hurricane, nyx, qmcpack, rtm};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The six evaluation datasets (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// Hurricane ISABEL — weather simulation, 3-D, 13 fields.
+    Hurricane,
+    /// NYX — cosmology simulation, 3-D, 6 fields.
+    Nyx,
+    /// QMCPack — quantum Monte Carlo, 4-D, 2 fields.
+    QmcPack,
+    /// RTM — seismic imaging snapshots, 3-D, 36 fields.
+    Rtm,
+    /// HACC — cosmology particles, 1-D, 6 fields.
+    Hacc,
+    /// CESM-ATM — climate model atmosphere, 2-D, 79 fields (10 generated).
+    CesmAtm,
+}
+
+impl DatasetId {
+    /// All six datasets, in the paper's Table 2 order.
+    pub fn all() -> [DatasetId; 6] {
+        [
+            DatasetId::Hurricane,
+            DatasetId::Nyx,
+            DatasetId::QmcPack,
+            DatasetId::Rtm,
+            DatasetId::Hacc,
+            DatasetId::CesmAtm,
+        ]
+    }
+
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::Hurricane => "Hurricane",
+            DatasetId::Nyx => "NYX",
+            DatasetId::QmcPack => "QMCPack",
+            DatasetId::Rtm => "RTM",
+            DatasetId::Hacc => "HACC",
+            DatasetId::CesmAtm => "CESM-ATM",
+        }
+    }
+
+    /// The real archive's per-field dimensions (paper Table 2), for
+    /// documentation and scale derivation.
+    pub fn paper_dims(&self) -> &'static [usize] {
+        match self {
+            DatasetId::Hurricane => &[100, 500, 500],
+            DatasetId::Nyx => &[512, 512, 512],
+            DatasetId::QmcPack => &[288, 115, 69, 69],
+            DatasetId::Rtm => &[235, 449, 449],
+            DatasetId::Hacc => &[280_953_867],
+            DatasetId::CesmAtm => &[1800, 3600],
+        }
+    }
+
+    /// Number of fields in the real archive (paper Table 2).
+    pub fn paper_field_count(&self) -> usize {
+        match self {
+            DatasetId::Hurricane => 13,
+            DatasetId::Nyx => 6,
+            DatasetId::QmcPack => 2,
+            DatasetId::Rtm => 36,
+            DatasetId::Hacc => 6,
+            DatasetId::CesmAtm => 79,
+        }
+    }
+
+    /// Parse a (case-insensitive) dataset name.
+    pub fn parse(s: &str) -> Option<DatasetId> {
+        match s.to_ascii_lowercase().as_str() {
+            "hurricane" => Some(DatasetId::Hurricane),
+            "nyx" => Some(DatasetId::Nyx),
+            "qmcpack" => Some(DatasetId::QmcPack),
+            "rtm" => Some(DatasetId::Rtm),
+            "hacc" => Some(DatasetId::Hacc),
+            "cesm" | "cesm-atm" | "cesmatm" => Some(DatasetId::CesmAtm),
+            _ => None,
+        }
+    }
+}
+
+/// Generation scale. The statistical character is scale-invariant; scale
+/// only sets how many elements each field has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~10⁴ elements/field — unit tests.
+    Tiny,
+    /// ~3·10⁵ elements/field — default for experiments (seconds per run).
+    Small,
+    /// ~2·10⁶ elements/field — higher-fidelity runs.
+    Medium,
+}
+
+impl Scale {
+    /// Grid shape for `id` at this scale.
+    pub fn shape(&self, id: DatasetId) -> Vec<usize> {
+        match (id, self) {
+            (DatasetId::Hurricane, Scale::Tiny) => vec![8, 24, 24],
+            (DatasetId::Hurricane, Scale::Small) => vec![20, 100, 100],
+            (DatasetId::Hurricane, Scale::Medium) => vec![40, 224, 224],
+            (DatasetId::Nyx, Scale::Tiny) => vec![18, 18, 18],
+            (DatasetId::Nyx, Scale::Small) => vec![64, 64, 64],
+            (DatasetId::Nyx, Scale::Medium) => vec![128, 128, 128],
+            (DatasetId::QmcPack, Scale::Tiny) => vec![4, 10, 14, 14],
+            (DatasetId::QmcPack, Scale::Small) => vec![18, 29, 24, 24],
+            (DatasetId::QmcPack, Scale::Medium) => vec![72, 29, 32, 32],
+            (DatasetId::Rtm, Scale::Tiny) => vec![12, 22, 22],
+            (DatasetId::Rtm, Scale::Small) => vec![47, 90, 90],
+            (DatasetId::Rtm, Scale::Medium) => vec![94, 160, 160],
+            (DatasetId::Hacc, Scale::Tiny) => vec![10_000],
+            (DatasetId::Hacc, Scale::Small) => vec![380_000],
+            (DatasetId::Hacc, Scale::Medium) => vec![2_000_000],
+            (DatasetId::CesmAtm, Scale::Tiny) => vec![30, 60],
+            (DatasetId::CesmAtm, Scale::Small) => vec![180, 360],
+            (DatasetId::CesmAtm, Scale::Medium) => vec![450, 900],
+        }
+    }
+
+    /// Parse a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            _ => None,
+        }
+    }
+}
+
+/// Generate all fields of `id` at `scale`, fields in parallel (each field
+/// is seeded independently, so the result is identical to the sequential
+/// order regardless of thread count).
+pub fn generate(id: DatasetId, scale: Scale) -> Vec<Field> {
+    let shape = scale.shape(id);
+    match id {
+        DatasetId::Hurricane => hurricane::FIELDS
+            .par_iter()
+            .map(|n| hurricane::field(n, &shape))
+            .collect(),
+        DatasetId::Nyx => nyx::FIELDS
+            .par_iter()
+            .map(|n| nyx::field(n, &shape))
+            .collect(),
+        DatasetId::QmcPack => qmcpack::FIELDS
+            .par_iter()
+            .map(|n| qmcpack::field(n, &shape))
+            .collect(),
+        DatasetId::Rtm => (1..=36usize)
+            .into_par_iter()
+            .map(|i| rtm::snapshot(i * 100, &shape))
+            .collect(),
+        DatasetId::Hacc => hacc::FIELDS
+            .par_iter()
+            .map(|n| hacc::field(n, shape[0]))
+            .collect(),
+        DatasetId::CesmAtm => cesm::FIELDS
+            .par_iter()
+            .map(|n| cesm::field(n, &shape))
+            .collect(),
+    }
+}
+
+/// Generate a small representative subset (first `max_fields` fields) —
+/// what the throughput experiments iterate to keep runtimes tractable.
+pub fn generate_subset(id: DatasetId, scale: Scale, max_fields: usize) -> Vec<Field> {
+    let shape = scale.shape(id);
+    match id {
+        DatasetId::Hurricane => hurricane::FIELDS
+            .iter()
+            .take(max_fields)
+            .map(|n| hurricane::field(n, &shape))
+            .collect(),
+        DatasetId::Nyx => nyx::FIELDS
+            .iter()
+            .take(max_fields)
+            .map(|n| nyx::field(n, &shape))
+            .collect(),
+        DatasetId::QmcPack => qmcpack::FIELDS
+            .iter()
+            .take(max_fields)
+            .map(|n| qmcpack::field(n, &shape))
+            .collect(),
+        DatasetId::Rtm => (1..=max_fields.min(36))
+            .map(|i| rtm::snapshot(i * 100, &shape))
+            .collect(),
+        DatasetId::Hacc => hacc::FIELDS
+            .iter()
+            .take(max_fields)
+            .map(|n| hacc::field(n, shape[0]))
+            .collect(),
+        DatasetId::CesmAtm => cesm::FIELDS
+            .iter()
+            .take(max_fields)
+            .map(|n| cesm::field(n, &shape))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_at_tiny() {
+        for id in DatasetId::all() {
+            let fields = generate_subset(id, Scale::Tiny, 2);
+            assert!(!fields.is_empty(), "{}", id.name());
+            for f in &fields {
+                assert!(f.len() > 1000, "{} field too small", id.name());
+                assert!(f.value_range() > 0.0);
+                assert!(f.data.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(DatasetId::parse("NYX"), Some(DatasetId::Nyx));
+        assert_eq!(DatasetId::parse("cesm-atm"), Some(DatasetId::CesmAtm));
+        assert_eq!(DatasetId::parse("bogus"), None);
+        assert_eq!(Scale::parse("Small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_metadata_is_table2() {
+        assert_eq!(DatasetId::Hurricane.paper_field_count(), 13);
+        assert_eq!(DatasetId::Rtm.paper_field_count(), 36);
+        assert_eq!(DatasetId::QmcPack.paper_dims().len(), 4);
+        assert_eq!(DatasetId::Hacc.paper_dims(), &[280_953_867]);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        for id in DatasetId::all() {
+            let t: usize = Scale::Tiny.shape(id).iter().product();
+            let s: usize = Scale::Small.shape(id).iter().product();
+            let m: usize = Scale::Medium.shape(id).iter().product();
+            assert!(t < s && s < m, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn subset_respects_max() {
+        let fields = generate_subset(DatasetId::Hurricane, Scale::Tiny, 3);
+        assert_eq!(fields.len(), 3);
+    }
+
+    #[test]
+    fn parallel_generate_matches_subset_order() {
+        let all = generate(DatasetId::Nyx, Scale::Tiny);
+        let sub = generate_subset(DatasetId::Nyx, Scale::Tiny, all.len());
+        assert_eq!(all, sub, "parallel generation must be order-stable");
+    }
+}

@@ -1,0 +1,154 @@
+//! RTM stand-in (reverse-time-migration seismic wavefields, 3-D
+//! 449×449×235, 36 snapshot fields).
+//!
+//! A forward-modelled RTM snapshot at time `t` is a band-limited wavefront
+//! expanding from the source, plus boundary reflections and diffractor
+//! scatter that progressively fill the volume. Early snapshots are mostly
+//! exact zeros (⇒ many cuSZp zero blocks ⇒ very high CR and throughput);
+//! late snapshots are reverberation-filled with decayed amplitude. That
+//! exact progression is what Fig 22 measures (throughput falls from ~150
+//! to ~105 GB/s across timesteps) and what gives RTM its Table 3 spread
+//! (max CR 127.59: an almost-empty early snapshot).
+
+use crate::field::Field;
+
+/// The simulated shot runs this many timesteps (paper §6: 3600).
+pub const TOTAL_TIMESTEPS: usize = 3600;
+
+/// Ricker wavelet (the standard seismic source signature).
+fn ricker(tau: f64, freq: f64) -> f64 {
+    let a = (std::f64::consts::PI * freq * tau).powi(2);
+    (1.0 - 2.0 * a) * (-a).exp()
+}
+
+/// Generate the wavefield snapshot at timestep `t` (0..=[`TOTAL_TIMESTEPS`])
+/// on a grid of `shape`.
+pub fn snapshot(t: usize, shape: &[usize]) -> Field {
+    assert_eq!(shape.len(), 3, "RTM snapshots are 3-D");
+    let (nz, ny, nx) = (shape[0], shape[1], shape[2]);
+    let mut data = vec![0.0f32; nz * ny * nx];
+
+    let progress = t as f64 / TOTAL_TIMESTEPS as f64; // 0..1
+    // Primary front radius sweeps past the far corner by t ≈ 60% of the run.
+    let front_r = progress * 1.8;
+    // Source amplitude decays with propagation (value range shrinks with t,
+    // per the paper's explanation of Fig 22).
+    let amp0 = 1.0 / (1.0 + 3.0 * progress);
+    let freq = 6.0; // wavelet dominant frequency in domain units
+    let wavelength = 1.0 / freq;
+
+    // Primary source at the surface centre + mirror sources for boundary
+    // reflections (activated once the primary front reaches a boundary).
+    let mut sources: Vec<([f64; 3], f64, f64)> = vec![([0.0, 0.5, 0.5], front_r, amp0)];
+    if front_r > 1.0 {
+        let refl_r = front_r - 1.0;
+        let refl_amp = amp0 * 0.55;
+        sources.push(([2.0, 0.5, 0.5], refl_r + 1.0, refl_amp)); // bottom mirror
+        sources.push(([0.0, -1.0, 0.5], refl_r + 1.0, refl_amp)); // side mirrors
+        sources.push(([0.0, 2.0, 0.5], refl_r + 1.0, refl_amp));
+        sources.push(([0.0, 0.5, -1.0], refl_r + 1.0, refl_amp));
+        sources.push(([0.0, 0.5, 2.0], refl_r + 1.0, refl_amp));
+    }
+    // Point diffractors re-radiate once the front passes them, filling the
+    // volume with coda at later timesteps.
+    let diffractors: [[f64; 3]; 5] = [
+        [0.35, 0.25, 0.6],
+        [0.55, 0.7, 0.3],
+        [0.75, 0.45, 0.75],
+        [0.25, 0.8, 0.8],
+        [0.65, 0.2, 0.2],
+    ];
+    for d in diffractors {
+        let dist_from_src =
+            ((d[0]).powi(2) + (d[1] - 0.5).powi(2) + (d[2] - 0.5).powi(2)).sqrt();
+        if front_r > dist_from_src {
+            sources.push((d, front_r - dist_from_src, amp0 * 0.35));
+        }
+    }
+
+    let band = 1.5 * wavelength; // support half-width of the wavelet shell
+    for z in 0..nz {
+        let pz = z as f64 / nz as f64;
+        for y in 0..ny {
+            let py = y as f64 / ny as f64;
+            for x in 0..nx {
+                let px = x as f64 / nx as f64;
+                let mut acc = 0.0f64;
+                for (c, r, a) in &sources {
+                    let dist = ((pz - c[0]).powi(2) + (py - c[1]).powi(2) + (px - c[2]).powi(2))
+                        .sqrt();
+                    let tau = dist - r;
+                    if tau.abs() < band {
+                        // Geometric spreading ∝ 1/r.
+                        acc += a * ricker(tau, freq) / (0.15 + dist);
+                    }
+                }
+                data[(z * ny + y) * nx + x] = acc as f32;
+            }
+        }
+    }
+    Field::new(format!("snapshot_{t}"), shape.to_vec(), data)
+}
+
+/// Generate the paper's 36 snapshot fields (1 per 100 timesteps).
+pub fn generate(shape: &[usize]) -> Vec<Field> {
+    (1..=36).map(|i| snapshot(i * 100, shape)).collect()
+}
+
+/// Fraction of exactly-zero values in a snapshot (drives Fig 22's shape).
+pub fn zero_fraction(f: &Field) -> f64 {
+    f.data.iter().filter(|&&v| v == 0.0).count() as f64 / f.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: [usize; 3] = [16, 16, 16];
+
+    #[test]
+    fn early_snapshots_are_sparse() {
+        let early = snapshot(200, &SHAPE);
+        let late = snapshot(3200, &SHAPE);
+        assert!(
+            zero_fraction(&early) > zero_fraction(&late),
+            "early {} vs late {}",
+            zero_fraction(&early),
+            zero_fraction(&late)
+        );
+        assert!(zero_fraction(&early) > 0.5);
+    }
+
+    #[test]
+    fn amplitude_decays_with_time() {
+        let early = snapshot(400, &[24, 24, 24]);
+        let late = snapshot(3400, &[24, 24, 24]);
+        assert!(early.value_range() > late.value_range());
+    }
+
+    #[test]
+    fn thirty_six_snapshots() {
+        let fields = generate(&[6, 6, 6]);
+        assert_eq!(fields.len(), 36);
+        assert_eq!(fields[0].name, "snapshot_100");
+        assert_eq!(fields[35].name, "snapshot_3600");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(snapshot(1000, &SHAPE), snapshot(1000, &SHAPE));
+    }
+
+    #[test]
+    fn wavefront_is_signed() {
+        let f = snapshot(1500, &SHAPE);
+        assert!(f.data.iter().any(|&v| v > 0.0));
+        assert!(f.data.iter().any(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn ricker_peak_at_zero() {
+        assert!((ricker(0.0, 6.0) - 1.0).abs() < 1e-12);
+        assert!(ricker(0.05, 6.0) < 1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the dataset generators: the invariants every field
+//! must satisfy regardless of scale, plus determinism.
+
+use datasets::{generate_subset, DatasetId, Scale};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated field is finite, non-degenerate, and matches its
+    /// declared shape — at any subset size.
+    #[test]
+    fn fields_are_well_formed(
+        id_idx in 0usize..6,
+        max_fields in 1usize..4,
+    ) {
+        let id = DatasetId::all()[id_idx];
+        for field in generate_subset(id, Scale::Tiny, max_fields) {
+            prop_assert_eq!(field.shape.iter().product::<usize>(), field.len());
+            prop_assert!(field.data.iter().all(|v| v.is_finite()));
+            prop_assert!(field.value_range() > 0.0, "degenerate {}", field.name);
+        }
+    }
+
+    /// Generation is deterministic: two calls agree bit-for-bit.
+    #[test]
+    fn generation_is_deterministic(id_idx in 0usize..6) {
+        let id = DatasetId::all()[id_idx];
+        let a = generate_subset(id, Scale::Tiny, 2);
+        let b = generate_subset(id, Scale::Tiny, 2);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn rtm_snapshots_fill_monotonically_in_trend() {
+    // Zero fraction must trend downward over the shot (allowing local
+    // wiggles, compare averages of early vs late thirds).
+    let shape = Scale::Tiny.shape(DatasetId::Rtm);
+    let fracs: Vec<f64> = (1..=12)
+        .map(|i| datasets::rtm::zero_fraction(&datasets::rtm::snapshot(i * 300, &shape)))
+        .collect();
+    let early: f64 = fracs[..4].iter().sum::<f64>() / 4.0;
+    let late: f64 = fracs[8..].iter().sum::<f64>() / 4.0;
+    assert!(early > late + 0.05, "early {early} vs late {late}");
+}
+
+#[test]
+fn io_roundtrip_through_disk() {
+    let field = generate_subset(DatasetId::CesmAtm, Scale::Tiny, 1).remove(0);
+    let path = std::env::temp_dir().join(format!("cuszp_ds_prop_{}.f32", std::process::id()));
+    datasets::io::write_field(&path, &field).unwrap();
+    let back = datasets::io::read_f32_le(&path).unwrap();
+    assert_eq!(back, field.data);
+    std::fs::remove_file(&path).unwrap();
+}

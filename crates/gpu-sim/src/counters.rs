@@ -1,0 +1,184 @@
+//! Per-step traffic accounting recorded by kernels as they execute.
+//!
+//! Each kernel step (e.g. cuSZp's "quant+prediction", "fixed-length
+//! encoding", "global sync", "bit-shuffle") records the global-memory bytes
+//! it read/wrote and the serialized ops it performed. The launcher folds all
+//! blocks' counters together and converts them to simulated time through the
+//! [`crate::DeviceSpec`] cost constants. The per-step shares feed the
+//! paper's breakdown figures (Fig 14, Fig 21).
+
+use serde::{Deserialize, Serialize};
+
+/// Traffic attributed to one named kernel step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepTraffic {
+    /// Coalesced bytes read from global memory.
+    pub bytes_read: u64,
+    /// Coalesced bytes written to global memory.
+    pub bytes_written: u64,
+    /// Byte-granular / strided bytes read (charged at reduced bandwidth).
+    pub bytes_read_strided: u64,
+    /// Byte-granular / strided bytes written (charged at reduced bandwidth).
+    pub bytes_written_strided: u64,
+    /// Serialized arithmetic/logic operations.
+    pub ops: u64,
+}
+
+impl StepTraffic {
+    /// Total bytes moved regardless of access pattern.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written + self.bytes_read_strided + self.bytes_written_strided
+    }
+
+    /// Accumulate another step's traffic into this one.
+    pub fn merge(&mut self, other: &StepTraffic) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.bytes_read_strided += other.bytes_read_strided;
+        self.bytes_written_strided += other.bytes_written_strided;
+        self.ops += other.ops;
+    }
+}
+
+/// An ordered multiset of named step counters.
+///
+/// Step names are `&'static str` so compressor crates can define their own
+/// step vocabulary without this crate knowing about it. Insertion order is
+/// preserved (first record wins the position), which keeps breakdown tables
+/// stable.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficCounters {
+    steps: Vec<(&'static str, StepTraffic)>,
+}
+
+impl TrafficCounters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&mut self, step: &'static str) -> &mut StepTraffic {
+        if let Some(idx) = self.steps.iter().position(|(name, _)| *name == step) {
+            &mut self.steps[idx].1
+        } else {
+            self.steps.push((step, StepTraffic::default()));
+            &mut self.steps.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Record coalesced global-memory reads.
+    pub fn read(&mut self, step: &'static str, bytes: u64) {
+        self.entry(step).bytes_read += bytes;
+    }
+
+    /// Record coalesced global-memory writes.
+    pub fn write(&mut self, step: &'static str, bytes: u64) {
+        self.entry(step).bytes_written += bytes;
+    }
+
+    /// Record strided / byte-granular reads (reduced effective bandwidth).
+    pub fn read_strided(&mut self, step: &'static str, bytes: u64) {
+        self.entry(step).bytes_read_strided += bytes;
+    }
+
+    /// Record strided / byte-granular writes (reduced effective bandwidth).
+    pub fn write_strided(&mut self, step: &'static str, bytes: u64) {
+        self.entry(step).bytes_written_strided += bytes;
+    }
+
+    /// Record serialized arithmetic ops.
+    pub fn ops(&mut self, step: &'static str, ops: u64) {
+        self.entry(step).ops += ops;
+    }
+
+    /// Merge another counter set into this one (used when folding together
+    /// the per-worker counters after a launch).
+    pub fn merge(&mut self, other: &TrafficCounters) {
+        for (name, traffic) in &other.steps {
+            self.entry(name).merge(traffic);
+        }
+    }
+
+    /// Iterate `(step name, traffic)` in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &StepTraffic)> {
+        self.steps.iter().map(|(n, t)| (*n, t))
+    }
+
+    /// Traffic for one step, if it was recorded.
+    pub fn get(&self, step: &str) -> Option<&StepTraffic> {
+        self.steps
+            .iter()
+            .find(|(name, _)| *name == step)
+            .map(|(_, t)| t)
+    }
+
+    /// Sum of all steps.
+    pub fn total(&self) -> StepTraffic {
+        let mut acc = StepTraffic::default();
+        for (_, t) in &self.steps {
+            acc.merge(t);
+        }
+        acc
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_step() {
+        let mut c = TrafficCounters::new();
+        c.read("load", 100);
+        c.read("load", 50);
+        c.write("store", 30);
+        c.ops("math", 7);
+        assert_eq!(c.get("load").unwrap().bytes_read, 150);
+        assert_eq!(c.get("store").unwrap().bytes_written, 30);
+        assert_eq!(c.get("math").unwrap().ops, 7);
+        assert!(c.get("absent").is_none());
+    }
+
+    #[test]
+    fn merge_folds_all_fields() {
+        let mut a = TrafficCounters::new();
+        a.read("s", 1);
+        a.write_strided("s", 2);
+        let mut b = TrafficCounters::new();
+        b.read("s", 10);
+        b.read_strided("s", 4);
+        b.ops("t", 5);
+        a.merge(&b);
+        let s = a.get("s").unwrap();
+        assert_eq!(s.bytes_read, 11);
+        assert_eq!(s.bytes_read_strided, 4);
+        assert_eq!(s.bytes_written_strided, 2);
+        assert_eq!(a.get("t").unwrap().ops, 5);
+    }
+
+    #[test]
+    fn total_sums_everything() {
+        let mut c = TrafficCounters::new();
+        c.read("a", 1);
+        c.write("b", 2);
+        c.read_strided("c", 3);
+        c.write_strided("d", 4);
+        let t = c.total();
+        assert_eq!(t.total_bytes(), 10);
+    }
+
+    #[test]
+    fn insertion_order_is_stable() {
+        let mut c = TrafficCounters::new();
+        c.ops("z", 1);
+        c.ops("a", 1);
+        c.ops("z", 1);
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z", "a"]);
+    }
+}

@@ -1,0 +1,265 @@
+//! The simulated device handle: allocations, transfers, launches, host work,
+//! and the timeline they all feed.
+
+use crate::counters::TrafficCounters;
+use crate::device::DeviceSpec;
+use crate::kernel::{run_grid, BlockCtx, LaunchConfig};
+use crate::memory::{DeviceBuffer, DeviceCopy};
+use crate::profiler::{kernel_body_time, Breakdown, KernelRecord};
+use crate::timing::{CopyDir, Timeline};
+
+/// A simulated GPU plus its host link. All simulated time flows through
+/// this handle's [`Timeline`].
+pub struct Gpu {
+    spec: DeviceSpec,
+    timeline: Timeline,
+    workers: usize,
+}
+
+impl Gpu {
+    /// A device with the given spec; the worker pool defaults to this
+    /// machine's available parallelism (the simulation is deterministic in
+    /// results and simulated time regardless of worker count).
+    pub fn new(spec: DeviceSpec) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Gpu {
+            spec,
+            timeline: Timeline::new(),
+            workers,
+        }
+    }
+
+    /// Override the worker-pool size (mainly for scheduler tests).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The device spec in effect.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The simulated event log.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Clear the timeline (start a new measurement window).
+    pub fn reset_timeline(&mut self) {
+        self.timeline.reset();
+    }
+
+    /// Allocate a zeroed device buffer (no simulated-time charge, matching
+    /// the paper's methodology of excluding allocation from throughput).
+    pub fn alloc<T: DeviceCopy>(&self, len: usize) -> DeviceBuffer<T> {
+        DeviceBuffer::zeroed(len)
+    }
+
+    /// Copy host data to a new device buffer, charging PCIe time.
+    pub fn h2d<T: DeviceCopy>(&mut self, host: &[T]) -> DeviceBuffer<T> {
+        let buf = DeviceBuffer::from_host(host);
+        let bytes = buf.size_bytes();
+        let time = self.spec.memcpy_time(bytes);
+        self.timeline.push_memcpy(CopyDir::H2D, bytes, time, "h2d");
+        buf
+    }
+
+    /// Copy host data into an existing device buffer, charging PCIe time.
+    pub fn h2d_into<T: DeviceCopy>(&mut self, host: &[T], buf: &mut DeviceBuffer<T>) {
+        buf.copy_from_host(host);
+        let bytes = buf.size_bytes();
+        let time = self.spec.memcpy_time(bytes);
+        self.timeline.push_memcpy(CopyDir::H2D, bytes, time, "h2d");
+    }
+
+    /// Copy a device buffer back to the host, charging PCIe time.
+    pub fn d2h<T: DeviceCopy>(&mut self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let bytes = buf.size_bytes();
+        let time = self.spec.memcpy_time(bytes);
+        self.timeline.push_memcpy(CopyDir::D2H, bytes, time, "d2h");
+        buf.to_host()
+    }
+
+    /// Copy only the first `len` elements back to the host (compressors
+    /// transfer just the used prefix of their output buffers).
+    pub fn d2h_prefix<T: DeviceCopy>(&mut self, buf: &DeviceBuffer<T>, len: usize) -> Vec<T> {
+        assert!(len <= buf.len(), "d2h_prefix beyond buffer");
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let time = self.spec.memcpy_time(bytes);
+        self.timeline.push_memcpy(CopyDir::D2H, bytes, time, "d2h");
+        let mut out = vec![T::default(); len];
+        buf.slice().read_slice(0, &mut out);
+        out
+    }
+
+    /// Copy host data to the device through *pageable* memory (the slower
+    /// staged path the reference cuSZ/cuSZx pipelines use).
+    pub fn h2d_pageable<T: DeviceCopy>(&mut self, host: &[T]) -> DeviceBuffer<T> {
+        let buf = DeviceBuffer::from_host(host);
+        let bytes = buf.size_bytes();
+        let time = self.spec.memcpy_time_pageable(bytes);
+        self.timeline
+            .push_memcpy(CopyDir::H2D, bytes, time, "h2d-pageable");
+        buf
+    }
+
+    /// Copy the first `len` elements to the host through pageable memory.
+    pub fn d2h_prefix_pageable<T: DeviceCopy>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        len: usize,
+    ) -> Vec<T> {
+        assert!(len <= buf.len(), "d2h_prefix_pageable beyond buffer");
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let time = self.spec.memcpy_time_pageable(bytes);
+        self.timeline
+            .push_memcpy(CopyDir::D2H, bytes, time, "d2h-pageable");
+        let mut out = vec![T::default(); len];
+        buf.slice().read_slice(0, &mut out);
+        out
+    }
+
+    /// Charge serial host-side work (cuSZ's Huffman build, cuSZx's CPU
+    /// prefix sums, ...).
+    pub fn cpu_work(&mut self, label: &'static str, ops: u64) {
+        let time = self.spec.cpu_time(ops);
+        self.timeline.push_cpu(label, ops, time);
+    }
+
+    /// Launch a kernel: run every block of `cfg` through `f` (in-order
+    /// dynamic dispatch), convert the recorded traffic into simulated time,
+    /// and log the launch. Returns the kernel's record.
+    pub fn launch<F>(&mut self, name: &'static str, cfg: LaunchConfig, f: F) -> KernelRecord
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        let counters: TrafficCounters = run_grid(cfg, self.workers, f);
+        let body = kernel_body_time(&self.spec, &counters);
+        let rec = KernelRecord {
+            name,
+            grid: cfg.grid_blocks,
+            time: body + self.spec.kernel_launch_overhead,
+            launch_overhead: self.spec.kernel_launch_overhead,
+            steps: counters,
+        };
+        self.timeline.push_kernel(rec.clone());
+        rec
+    }
+
+    /// Breakdown of the current timeline window (Fig 14 / Fig 21 shape).
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown::from_timeline(&self.spec, &self.timeline)
+    }
+
+    /// Throughput in GB/s for processing `bytes` of original data over the
+    /// current window's *total* (end-to-end) time.
+    pub fn end_to_end_throughput_gbps(&self, bytes: u64) -> f64 {
+        let t = self.timeline.total_time();
+        if t > 0.0 {
+            bytes as f64 / t / 1.0e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput in GB/s over kernel-body time only.
+    pub fn kernel_throughput_gbps(&self, bytes: u64) -> f64 {
+        let t = self.timeline.gpu_time() + self.timeline.launch_overhead_time();
+        if t > 0.0 {
+            bytes as f64 / t / 1.0e9
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Gpu({}, workers={}, t={:.3e}s)",
+            self.spec.name,
+            self.workers,
+            self.timeline.total_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h2d_d2h_roundtrip_charges_time() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let buf = gpu.h2d(&[1.0f32; 1000]);
+        let back = gpu.d2h(&buf);
+        assert_eq!(back.len(), 1000);
+        assert!(gpu.timeline().memcpy_time() >= 2.0 * gpu.spec().pcie_latency);
+        assert_eq!(gpu.timeline().gpu_time(), 0.0);
+    }
+
+    #[test]
+    fn launch_charges_body_plus_overhead() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let rec = gpu.launch("noop", LaunchConfig::grid(8), |ctx| {
+            ctx.ops("body", 1_000_000);
+        });
+        assert!(rec.time > gpu.spec().kernel_launch_overhead);
+        assert_eq!(rec.grid, 8);
+        assert_eq!(gpu.timeline().kernel_count(), 1);
+    }
+
+    #[test]
+    fn d2h_prefix_moves_fewer_bytes() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let buf = gpu.alloc::<u8>(1_000_000);
+        buf.slice().set(0, 7);
+        gpu.reset_timeline();
+        let out = gpu.d2h_prefix(&buf, 10);
+        assert_eq!(out[0], 7);
+        assert_eq!(out.len(), 10);
+        let full_time = gpu.spec().memcpy_time(1_000_000);
+        assert!(gpu.timeline().memcpy_time() < full_time);
+    }
+
+    #[test]
+    fn cpu_work_accumulates() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        gpu.cpu_work("huffman", 1_500_000_000);
+        assert!((gpu.timeline().cpu_time() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        gpu.launch("k", LaunchConfig::grid(1), |ctx| {
+            ctx.read("s", 1_000_000);
+        });
+        let e2e = gpu.end_to_end_throughput_gbps(1_000_000);
+        let kern = gpu.kernel_throughput_gbps(1_000_000);
+        assert!(e2e > 0.0 && kern > 0.0);
+        // End-to-end equals kernel throughput for single-kernel pipelines
+        // with no transfers (both include launch overhead).
+        assert!((e2e - kern).abs() / kern < 1e-9);
+    }
+
+    #[test]
+    fn reset_timeline_opens_new_window() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        gpu.cpu_work("x", 1000);
+        gpu.reset_timeline();
+        assert_eq!(gpu.timeline().total_time(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn d2h_prefix_oob_panics() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let buf = gpu.alloc::<u8>(4);
+        gpu.d2h_prefix(&buf, 5);
+    }
+}

@@ -1,0 +1,214 @@
+//! Kernel records and breakdown reports (the Nsight-equivalent).
+//!
+//! [`KernelRecord`] captures one launch with its per-step traffic; the
+//! conversion from traffic to time lives here so the same formula serves
+//! both the launcher and the breakdown figures. [`Breakdown`] reproduces the
+//! paper's two breakdown views: end-to-end GPU/CPU/Memcpy shares (Fig 14)
+//! and intra-kernel per-step shares (Fig 21).
+
+use crate::counters::{StepTraffic, TrafficCounters};
+use crate::device::DeviceSpec;
+use crate::timing::Timeline;
+use serde::{Deserialize, Serialize};
+
+/// One kernel launch: name, geometry, per-step traffic, and its simulated
+/// duration (including the fixed launch overhead).
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Kernel name (for reports).
+    pub name: &'static str,
+    /// Number of thread blocks launched.
+    pub grid: usize,
+    /// Total simulated duration, seconds, `launch_overhead` included.
+    pub time: f64,
+    /// The fixed launch-latency component of `time`.
+    pub launch_overhead: f64,
+    /// Per-step traffic merged across all blocks.
+    pub steps: TrafficCounters,
+}
+
+/// Convert one step's traffic into simulated seconds under `spec`.
+///
+/// Memory and compute overlap on a GPU, so the step cost is
+/// `max(memory time, compute time)`; strided traffic is charged at
+/// `mem_bandwidth * strided_efficiency`.
+pub fn step_time(spec: &DeviceSpec, t: &StepTraffic) -> f64 {
+    let coalesced = (t.bytes_read + t.bytes_written) as f64 / spec.mem_bandwidth;
+    let strided = (t.bytes_read_strided + t.bytes_written_strided) as f64
+        / (spec.mem_bandwidth * spec.strided_efficiency);
+    let mem = coalesced + strided;
+    let compute = t.ops as f64 / spec.effective_compute;
+    mem.max(compute)
+}
+
+/// Convert a whole launch's counters into body time (no launch overhead).
+pub fn kernel_body_time(spec: &DeviceSpec, counters: &TrafficCounters) -> f64 {
+    counters.iter().map(|(_, t)| step_time(spec, t)).sum()
+}
+
+/// Share of time attributed to one named step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepShare {
+    /// Step name.
+    pub step: String,
+    /// Simulated seconds.
+    pub time: f64,
+    /// Fraction of the parent total, in [0, 1].
+    pub fraction: f64,
+}
+
+/// End-to-end time split into the paper's three categories (Fig 14), plus
+/// per-step kernel shares (Fig 21).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Kernel-body time (paper: "GPU").
+    pub gpu: f64,
+    /// Serial host time (paper: "CPU").
+    pub cpu: f64,
+    /// PCIe transfer time (paper: "Memcpy").
+    pub memcpy: f64,
+    /// Fixed kernel-launch overhead (folded into "GPU" by the paper's
+    /// methodology; reported separately here for transparency).
+    pub launch_overhead: f64,
+    /// Per-step shares across all kernels in the window.
+    pub steps: Vec<StepShare>,
+}
+
+impl Breakdown {
+    /// Build a breakdown from a timeline window under `spec`.
+    pub fn from_timeline(spec: &DeviceSpec, tl: &Timeline) -> Self {
+        let mut merged = TrafficCounters::new();
+        for k in tl.kernels() {
+            merged.merge(&k.steps);
+        }
+        let step_total: f64 = merged.iter().map(|(_, t)| step_time(spec, t)).sum();
+        let steps = merged
+            .iter()
+            .map(|(name, t)| {
+                let time = step_time(spec, t);
+                StepShare {
+                    step: name.to_string(),
+                    time,
+                    fraction: if step_total > 0.0 {
+                        time / step_total
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        Breakdown {
+            gpu: tl.gpu_time(),
+            cpu: tl.cpu_time(),
+            memcpy: tl.memcpy_time(),
+            launch_overhead: tl.launch_overhead_time(),
+            steps,
+        }
+    }
+
+    /// Total end-to-end time of the window.
+    pub fn total(&self) -> f64 {
+        self.gpu + self.cpu + self.memcpy + self.launch_overhead
+    }
+
+    /// GPU share of end-to-end time (launch overhead counted as GPU, as the
+    /// paper does), in [0, 1].
+    pub fn gpu_fraction(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            (self.gpu + self.launch_overhead) / t
+        } else {
+            0.0
+        }
+    }
+
+    /// CPU share of end-to-end time, in [0, 1].
+    pub fn cpu_fraction(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.cpu / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Memcpy share of end-to-end time, in [0, 1].
+    pub fn memcpy_fraction(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.memcpy / t
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_time_is_max_of_mem_and_compute() {
+        let spec = DeviceSpec::a100();
+        // Memory-bound step.
+        let t = StepTraffic {
+            bytes_read: 1_400_000_000_000,
+            ..Default::default()
+        };
+        assert!((step_time(&spec, &t) - 1.0).abs() < 1e-9);
+        // Compute-bound step.
+        let t = StepTraffic {
+            ops: (1.55e12) as u64,
+            ..Default::default()
+        };
+        assert!((step_time(&spec, &t) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn strided_traffic_costs_more() {
+        let spec = DeviceSpec::a100();
+        let coalesced = StepTraffic {
+            bytes_written: 1_000_000,
+            ..Default::default()
+        };
+        let strided = StepTraffic {
+            bytes_written_strided: 1_000_000,
+            ..Default::default()
+        };
+        assert!(step_time(&spec, &strided) > step_time(&spec, &coalesced) * 3.0);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let spec = DeviceSpec::a100();
+        let mut tl = Timeline::new();
+        let mut counters = TrafficCounters::new();
+        counters.read("a", 1_000_000);
+        counters.write("b", 2_000_000);
+        let body = kernel_body_time(&spec, &counters);
+        tl.push_kernel(KernelRecord {
+            name: "k",
+            grid: 4,
+            time: body + spec.kernel_launch_overhead,
+            launch_overhead: spec.kernel_launch_overhead,
+            steps: counters,
+        });
+        tl.push_cpu("host", 1000, 1e-3);
+        tl.push_memcpy(crate::timing::CopyDir::D2H, 100, 1e-4, "x");
+        let b = Breakdown::from_timeline(&spec, &tl);
+        let sum = b.gpu_fraction() + b.cpu_fraction() + b.memcpy_fraction();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(b.steps.len(), 2);
+        let frac_sum: f64 = b.steps.iter().map(|s| s.fraction).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let spec = DeviceSpec::a100();
+        let tl = Timeline::new();
+        let b = Breakdown::from_timeline(&spec, &tl);
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.gpu_fraction(), 0.0);
+    }
+}

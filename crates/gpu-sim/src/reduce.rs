@@ -1,0 +1,144 @@
+//! Device-wide reductions (min/max) — the kernel that resolves a
+//! value-range-relative (REL) error bound on the device before a
+//! compression launch, as the reference `compx` CLI does.
+//!
+//! Classic two-level shape: each block reduces its tile in registers and
+//! publishes one partial; the last block to finish (tracked with a device
+//! atomic) folds the partials. Still a single launch.
+
+use crate::gpu::Gpu;
+use crate::kernel::LaunchConfig;
+use crate::memory::{DeviceAtomics, DeviceBuffer};
+
+/// Elements each block reduces.
+const TILE: usize = 4096;
+
+/// Bit-cast an `f32` into a totally-ordered `u64` key (monotone mapping,
+/// so atomic max works for both min and max searches).
+fn order_key(v: f32) -> u64 {
+    let bits = v.to_bits();
+    // Flip sign bit for positives, all bits for negatives: orders as f32.
+    let key = if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    };
+    key as u64
+}
+
+fn key_to_f32(key: u64) -> f32 {
+    let bits = key as u32;
+    let bits = if bits & 0x8000_0000 != 0 {
+        bits & 0x7FFF_FFFF
+    } else {
+        !bits
+    };
+    f32::from_bits(bits)
+}
+
+/// Device-wide `(min, max)` of a non-empty `f32` buffer, in one kernel
+/// launch. Traffic is recorded under `step`.
+///
+/// # Panics
+/// Panics on an empty buffer.
+pub fn min_max_f32(gpu: &mut Gpu, input: &DeviceBuffer<f32>, step: &'static str) -> (f32, f32) {
+    let n = input.len();
+    assert!(n > 0, "min_max over empty buffer");
+    let tiles = n.div_ceil(TILE);
+    // Slot 0: running max-key of values; slot 1: running max-key of
+    // negated values (== min); initialized to 0 (the smallest key).
+    let acc = DeviceAtomics::zeroed(2);
+
+    gpu.launch("minmax_reduce", LaunchConfig::grid(tiles), |ctx| {
+        let inp = input.slice();
+        let start = ctx.block * TILE;
+        let end = (start + TILE).min(n);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for i in start..end {
+            let v = inp.get(i);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        acc.fetch_max(0, order_key(hi));
+        acc.fetch_max(1, order_key(-lo));
+        ctx.read(step, ((end - start) * 4) as u64);
+        ctx.ops(step, (end - start) as u64 * 2 + 64);
+        ctx.write(step, 16);
+    });
+
+    let hi = key_to_f32(acc.load(0));
+    let lo = -key_to_f32(acc.load(1));
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn order_key_is_monotone() {
+        let vals = [
+            f32::NEG_INFINITY,
+            -1.0e30,
+            -3.5,
+            -0.0,
+            0.0,
+            1.0e-20,
+            2.0,
+            f32::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(order_key(w[0]) <= order_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for &v in &vals[1..vals.len() - 1] {
+            assert_eq!(key_to_f32(order_key(v)), v);
+        }
+    }
+
+    #[test]
+    fn min_max_matches_iterator() {
+        let data: Vec<f32> = (0..20_000)
+            .map(|i| ((i * 2654435761usize) % 100_000) as f32 - 50_000.0)
+            .collect();
+        let mut gpu = Gpu::new(DeviceSpec::a100()).with_workers(3);
+        let buf = gpu.h2d(&data);
+        let (lo, hi) = min_max_f32(&mut gpu, &buf, "range");
+        let expect_lo = data.iter().cloned().fold(f32::INFINITY, f32::min);
+        let expect_hi = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!((lo, hi), (expect_lo, expect_hi));
+    }
+
+    #[test]
+    fn min_max_single_element() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let buf = gpu.h2d(&[-7.5f32]);
+        assert_eq!(min_max_f32(&mut gpu, &buf, "range"), (-7.5, -7.5));
+    }
+
+    #[test]
+    fn min_max_all_negative() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let buf = gpu.h2d(&[-3.0f32, -9.0, -1.0]);
+        assert_eq!(min_max_f32(&mut gpu, &buf, "range"), (-9.0, -1.0));
+    }
+
+    #[test]
+    fn min_max_is_one_kernel() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let buf = gpu.h2d(&vec![1.0f32; 100_000]);
+        gpu.reset_timeline();
+        min_max_f32(&mut gpu, &buf, "range");
+        assert_eq!(gpu.timeline().kernel_count(), 1);
+        assert_eq!(gpu.timeline().memcpy_time(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let buf = DeviceBuffer::<f32>::from_host(&[]);
+        min_max_f32(&mut gpu, &buf, "range");
+    }
+}

@@ -1,0 +1,202 @@
+//! The simulated timeline: an ordered log of kernel launches, host<->device
+//! copies and host compute, each with a simulated duration.
+//!
+//! The paper distinguishes *end-to-end* throughput (everything between
+//! "data in GPU memory" and "compressed data in GPU memory") from *kernel*
+//! throughput (kernel execution only). [`Timeline`] supports both: total
+//! time sums every event; [`Timeline::gpu_time`] sums kernel bodies only.
+
+use crate::profiler::KernelRecord;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a host<->device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CopyDir {
+    /// Host to device.
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+/// One entry in the simulated timeline.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A kernel execution, with per-step traffic and computed duration.
+    Kernel(KernelRecord),
+    /// A PCIe transfer.
+    Memcpy {
+        /// Transfer direction.
+        dir: CopyDir,
+        /// Bytes moved.
+        bytes: u64,
+        /// Simulated duration in seconds.
+        time: f64,
+        /// Label for reports.
+        label: &'static str,
+    },
+    /// Serial host-side work (e.g. cuSZ's Huffman-tree construction).
+    Cpu {
+        /// Label for reports.
+        label: &'static str,
+        /// Abstract serialized host ops charged.
+        ops: u64,
+        /// Simulated duration in seconds.
+        time: f64,
+    },
+}
+
+impl Event {
+    /// Simulated duration of this event, seconds.
+    pub fn time(&self) -> f64 {
+        match self {
+            Event::Kernel(k) => k.time,
+            Event::Memcpy { time, .. } => *time,
+            Event::Cpu { time, .. } => *time,
+        }
+    }
+}
+
+/// Ordered log of simulated events with O(1) aggregate queries.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    events: Vec<Event>,
+    gpu: f64,
+    launch_overhead: f64,
+    memcpy: f64,
+    cpu: f64,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a kernel record.
+    pub fn push_kernel(&mut self, rec: KernelRecord) {
+        self.gpu += rec.time - rec.launch_overhead;
+        self.launch_overhead += rec.launch_overhead;
+        self.events.push(Event::Kernel(rec));
+    }
+
+    /// Append a memcpy event.
+    pub fn push_memcpy(&mut self, dir: CopyDir, bytes: u64, time: f64, label: &'static str) {
+        self.memcpy += time;
+        self.events.push(Event::Memcpy {
+            dir,
+            bytes,
+            time,
+            label,
+        });
+    }
+
+    /// Append a host-compute event.
+    pub fn push_cpu(&mut self, label: &'static str, ops: u64, time: f64) {
+        self.cpu += time;
+        self.events.push(Event::Cpu { label, ops, time });
+    }
+
+    /// Everything that has happened, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Total simulated time across all events (the end-to-end clock).
+    pub fn total_time(&self) -> f64 {
+        self.gpu + self.launch_overhead + self.memcpy + self.cpu
+    }
+
+    /// Kernel-body time only (the paper's "kernel throughput" denominator).
+    pub fn gpu_time(&self) -> f64 {
+        self.gpu
+    }
+
+    /// Accumulated fixed kernel-launch overhead.
+    pub fn launch_overhead_time(&self) -> f64 {
+        self.launch_overhead
+    }
+
+    /// Accumulated PCIe transfer time.
+    pub fn memcpy_time(&self) -> f64 {
+        self.memcpy
+    }
+
+    /// Accumulated serial host-compute time.
+    pub fn cpu_time(&self) -> f64 {
+        self.cpu
+    }
+
+    /// Number of kernels launched so far.
+    pub fn kernel_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Kernel(_)))
+            .count()
+    }
+
+    /// Iterate kernel records only.
+    pub fn kernels(&self) -> impl Iterator<Item = &KernelRecord> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Kernel(k) => Some(k),
+            _ => None,
+        })
+    }
+
+    /// Clear the log and aggregates (start a fresh measurement window).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.gpu = 0.0;
+        self.launch_overhead = 0.0;
+        self.memcpy = 0.0;
+        self.cpu = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::TrafficCounters;
+
+    fn dummy_kernel(time: f64, overhead: f64) -> KernelRecord {
+        KernelRecord {
+            name: "k",
+            grid: 1,
+            time,
+            launch_overhead: overhead,
+            steps: TrafficCounters::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_split_by_category() {
+        let mut tl = Timeline::new();
+        tl.push_kernel(dummy_kernel(1.0e-3, 5.0e-6));
+        tl.push_memcpy(CopyDir::D2H, 1024, 2.0e-3, "hist");
+        tl.push_cpu("tree", 1000, 3.0e-3);
+        assert!((tl.gpu_time() - (1.0e-3 - 5.0e-6)).abs() < 1e-12);
+        assert!((tl.memcpy_time() - 2.0e-3).abs() < 1e-12);
+        assert!((tl.cpu_time() - 3.0e-3).abs() < 1e-12);
+        assert!((tl.total_time() - 6.0e-3).abs() < 1e-12);
+        assert_eq!(tl.kernel_count(), 1);
+        assert_eq!(tl.events().len(), 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut tl = Timeline::new();
+        tl.push_cpu("x", 1, 1.0);
+        tl.reset();
+        assert_eq!(tl.total_time(), 0.0);
+        assert!(tl.events().is_empty());
+    }
+
+    #[test]
+    fn event_time_accessor() {
+        let e = Event::Cpu {
+            label: "x",
+            ops: 1,
+            time: 0.5,
+        };
+        assert_eq!(e.time(), 0.5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Warp-synchronous primitives over `[T; 32]` lane arrays.
+//!
+//! cuSZp's warp-level prefix sums use CUDA's `__shfl_up_sync`: lanes
+//! exchange registers without touching memory. We model a warp as an array
+//! of 32 lane values transformed in lock-step — the idiomatic way to express
+//! warp-synchronous algorithms without a full SIMT interpreter. Each helper
+//! returns the number of simulated lane-ops performed so callers can charge
+//! the cost model (shuffles are register-speed, so the counts are small).
+
+/// Number of lanes in a warp.
+pub const WARP: usize = 32;
+
+/// `__shfl_up_sync`: every lane `i ≥ delta` receives lane `i − delta`'s
+/// value; lanes below `delta` receive `fill`.
+pub fn shfl_up<T: Copy>(lanes: &[T; WARP], delta: usize, fill: T) -> [T; WARP] {
+    let mut out = [fill; WARP];
+    for i in delta..WARP {
+        out[i] = lanes[i - delta];
+    }
+    out
+}
+
+/// `__shfl_down_sync`: every lane `i < WARP − delta` receives lane
+/// `i + delta`'s value; the rest receive `fill`.
+pub fn shfl_down<T: Copy>(lanes: &[T; WARP], delta: usize, fill: T) -> [T; WARP] {
+    let mut out = [fill; WARP];
+    for i in 0..WARP - delta {
+        out[i] = lanes[i + delta];
+    }
+    out
+}
+
+/// `__ballot_sync`: bit `i` of the result is lane `i`'s predicate.
+pub fn ballot(preds: &[bool; WARP]) -> u32 {
+    let mut mask = 0u32;
+    for (i, &p) in preds.iter().enumerate() {
+        if p {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Inclusive warp scan (Hillis–Steele over shuffles) with a caller-supplied
+/// associative combiner. Returns `(scanned lanes, simulated ops)`.
+pub fn inclusive_scan_by<T: Copy>(
+    mut lanes: [T; WARP],
+    combine: impl Fn(T, T) -> T,
+) -> ([T; WARP], u64) {
+    let mut ops = 0u64;
+    let mut delta = 1;
+    while delta < WARP {
+        let shifted = shfl_up(&lanes, delta, lanes[0]);
+        for i in delta..WARP {
+            lanes[i] = combine(shifted[i], lanes[i]);
+        }
+        ops += WARP as u64;
+        delta <<= 1;
+    }
+    (lanes, ops)
+}
+
+/// Inclusive warp scan of `u64` sums. Returns `(scanned, ops)`.
+pub fn inclusive_scan_u64(lanes: [u64; WARP]) -> ([u64; WARP], u64) {
+    inclusive_scan_by(lanes, |a, b| a + b)
+}
+
+/// Exclusive warp scan of `u64` sums: lane `i` receives the sum of lanes
+/// `[0, i)`. Returns `(scanned, warp total, ops)`.
+pub fn exclusive_scan_u64(lanes: [u64; WARP]) -> ([u64; WARP], u64, u64) {
+    let (incl, ops) = inclusive_scan_u64(lanes);
+    let total = incl[WARP - 1];
+    let mut excl = [0u64; WARP];
+    for i in 1..WARP {
+        excl[i] = incl[i - 1];
+    }
+    (excl, total, ops + WARP as u64)
+}
+
+/// Warp-wide maximum via butterfly reduction. Returns `(max, ops)`.
+pub fn reduce_max_u32(lanes: &[u32; WARP]) -> (u32, u64) {
+    let mut vals = *lanes;
+    let mut ops = 0u64;
+    let mut delta = WARP / 2;
+    while delta > 0 {
+        let shifted = shfl_down(&vals, delta, 0);
+        for i in 0..WARP {
+            vals[i] = vals[i].max(shifted[i]);
+        }
+        ops += WARP as u64;
+        delta >>= 1;
+    }
+    (vals[0], ops)
+}
+
+/// Warp-wide sum via butterfly reduction. Returns `(sum, ops)`.
+pub fn reduce_sum_u64(lanes: &[u64; WARP]) -> (u64, u64) {
+    let mut vals = *lanes;
+    let mut ops = 0u64;
+    let mut delta = WARP / 2;
+    while delta > 0 {
+        let shifted = shfl_down(&vals, delta, 0);
+        for i in 0..WARP {
+            vals[i] += shifted[i];
+        }
+        ops += WARP as u64;
+        delta >>= 1;
+    }
+    (vals[0], ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes_iota_u64() -> [u64; WARP] {
+        std::array::from_fn(|i| i as u64)
+    }
+
+    #[test]
+    fn shfl_up_shifts_and_fills() {
+        let lanes: [u32; WARP] = std::array::from_fn(|i| i as u32);
+        let out = shfl_up(&lanes, 3, 999);
+        assert_eq!(out[0], 999);
+        assert_eq!(out[2], 999);
+        assert_eq!(out[3], 0);
+        assert_eq!(out[31], 28);
+    }
+
+    #[test]
+    fn shfl_down_shifts_and_fills() {
+        let lanes: [u32; WARP] = std::array::from_fn(|i| i as u32);
+        let out = shfl_down(&lanes, 5, 777);
+        assert_eq!(out[0], 5);
+        assert_eq!(out[26], 31);
+        assert_eq!(out[27], 777);
+    }
+
+    #[test]
+    fn ballot_packs_bits() {
+        let mut preds = [false; WARP];
+        preds[0] = true;
+        preds[5] = true;
+        preds[31] = true;
+        assert_eq!(ballot(&preds), 1 | (1 << 5) | (1 << 31));
+    }
+
+    #[test]
+    fn inclusive_scan_matches_sequential() {
+        let (scanned, ops) = inclusive_scan_u64(lanes_iota_u64());
+        let mut expect = 0u64;
+        for (i, v) in scanned.iter().enumerate() {
+            expect += i as u64;
+            assert_eq!(*v, expect);
+        }
+        assert!(ops > 0);
+    }
+
+    #[test]
+    fn exclusive_scan_matches_sequential() {
+        let (scanned, total, _) = exclusive_scan_u64(lanes_iota_u64());
+        assert_eq!(scanned[0], 0);
+        let mut expect = 0u64;
+        for (i, v) in scanned.iter().enumerate() {
+            assert_eq!(*v, expect);
+            expect += i as u64;
+        }
+        assert_eq!(total, (0..32u64).sum());
+    }
+
+    #[test]
+    fn reduce_max_finds_max() {
+        let mut lanes = [0u32; WARP];
+        lanes[17] = 12345;
+        lanes[3] = 99;
+        let (m, _) = reduce_max_u32(&lanes);
+        assert_eq!(m, 12345);
+    }
+
+    #[test]
+    fn reduce_sum_sums() {
+        let (s, _) = reduce_sum_u64(&lanes_iota_u64());
+        assert_eq!(s, (0..32u64).sum());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the gpu-sim substrate: the device-wide scan
+//! must agree with a sequential scan for arbitrary inputs, worker counts
+//! and grid geometries, and warp primitives must match their sequential
+//! definitions.
+
+use gpu_sim::warp::{
+    ballot, exclusive_scan_u64, inclusive_scan_by, reduce_max_u32, reduce_sum_u64, shfl_down,
+    shfl_up,
+};
+use gpu_sim::{scan, DeviceBuffer, DeviceSpec, Gpu, WARP};
+use proptest::prelude::*;
+
+fn host_exclusive_scan(input: &[u32]) -> (Vec<u32>, u64) {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u64;
+    for &v in input {
+        out.push(acc as u32);
+        acc += v as u64;
+    }
+    (out, acc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn device_scan_matches_sequential(
+        input in proptest::collection::vec(0u32..10_000, 0..2000),
+        workers in 1usize..5,
+    ) {
+        let mut gpu = Gpu::new(DeviceSpec::a100()).with_workers(workers);
+        let inp = DeviceBuffer::from_host(&input);
+        let out = DeviceBuffer::<u32>::zeroed(input.len());
+        let total = scan::exclusive_scan_u32(&mut gpu, &inp, &out, "scan");
+        let (expect, expect_total) = host_exclusive_scan(&input);
+        prop_assert_eq!(out.to_host(), expect);
+        prop_assert_eq!(total, expect_total);
+    }
+
+    #[test]
+    fn warp_inclusive_scan_matches_sequential(vals in proptest::array::uniform32(0u64..1u64<<40)) {
+        let (scanned, _) = inclusive_scan_by(vals, |a, b| a + b);
+        let mut acc = 0u64;
+        for i in 0..WARP {
+            acc += vals[i];
+            prop_assert_eq!(scanned[i], acc);
+        }
+    }
+
+    #[test]
+    fn warp_exclusive_scan_matches_sequential(vals in proptest::array::uniform32(0u64..1u64<<40)) {
+        let (scanned, total, _) = exclusive_scan_u64(vals);
+        let mut acc = 0u64;
+        for i in 0..WARP {
+            prop_assert_eq!(scanned[i], acc);
+            acc += vals[i];
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn warp_reductions_match_iterators(vals in proptest::array::uniform32(0u32..u32::MAX/64)) {
+        let (m, _) = reduce_max_u32(&vals);
+        prop_assert_eq!(m, *vals.iter().max().unwrap());
+        let wide: [u64; WARP] = std::array::from_fn(|i| vals[i] as u64);
+        let (s, _) = reduce_sum_u64(&wide);
+        prop_assert_eq!(s, wide.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn shuffles_are_inverse_ish(vals in proptest::array::uniform32(0i64..1000), delta in 0usize..32) {
+        // shfl_down(shfl_up(x, d), d) restores lanes [0, 32-d) of... actually
+        // lanes [d, 32) shifted back: lane i in [0, 32-d) gets original lane i.
+        let up = shfl_up(&vals, delta, -1);
+        let back = shfl_down(&up, delta, -1);
+        for i in 0..WARP - delta {
+            prop_assert_eq!(back[i], vals[i]);
+        }
+    }
+
+    #[test]
+    fn ballot_bit_per_lane(bits in 0u32..) {
+        let preds: [bool; WARP] = std::array::from_fn(|i| bits & (1 << i) != 0);
+        prop_assert_eq!(ballot(&preds), bits);
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig 6 — CDF of per-block relative value ranges (block length 8 and 32)
+//! for Hurricane (U), NYX (temperature), and QMCPack.
+//!
+//! This is the paper's empirical justification for fixed-length encoding:
+//! scientific data is so smooth that the vast majority of blocks span a
+//! tiny fraction of the global value range (e.g. >80% of Hurricane blocks
+//! under 0.02 at L = 8).
+
+use super::Ctx;
+use crate::report::{pct, Report};
+use datasets::{hurricane, nyx, qmcpack, DatasetId};
+use metrics::cdf::BlockRangeCdf;
+use serde::Serialize;
+
+/// A CDF series for one (dataset, block length) pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Dataset name.
+    pub dataset: String,
+    /// Block length used.
+    pub block_len: usize,
+    /// `(x, CDF(x))` samples.
+    pub points: Vec<(f64, f64)>,
+    /// Median relative block range.
+    pub median: f64,
+}
+
+/// Run the Fig 6 experiment.
+pub fn run(ctx: &Ctx) {
+    let mut report = Report::new(
+        "fig06",
+        "CDF of block relative value range (Fig 6)",
+        &ctx.out_dir,
+    );
+    let fields = vec![
+        (
+            "Hurricane",
+            hurricane::field("U", &ctx.scale.shape(DatasetId::Hurricane)),
+        ),
+        (
+            "NYX",
+            nyx::field("temperature", &ctx.scale.shape(DatasetId::Nyx)),
+        ),
+        (
+            "QMCPack",
+            qmcpack::field(qmcpack::FIELDS[0], &ctx.scale.shape(DatasetId::QmcPack)),
+        ),
+    ];
+
+    let mut all = Vec::new();
+    for block_len in [8usize, 32] {
+        report.line(&format!("\nBlock length L = {block_len}"));
+        let thresholds = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
+        let mut rows = Vec::new();
+        for (name, field) in &fields {
+            let cdf = BlockRangeCdf::compute(&field.data, block_len);
+            let mut row = vec![name.to_string()];
+            for &t in &thresholds {
+                row.push(pct(cdf.cdf_at(t)));
+            }
+            rows.push(row);
+            all.push(Series {
+                dataset: name.to_string(),
+                block_len,
+                points: cdf.series(50),
+                median: cdf.median(),
+            });
+        }
+        report.table(
+            &[
+                "dataset", "≤0.01", "≤0.02", "≤0.05", "≤0.10", "≤0.20", "≤0.50", "≤1.00",
+            ],
+            &rows,
+        );
+    }
+    report.line(
+        "\npaper: Hurricane has >80% of blocks under relative range 0.02 at L=8; \
+all three datasets show high within-block smoothness, degrading slightly at L=32",
+    );
+    report.save_json(&all);
+    report.save_text();
+}

@@ -1,0 +1,25 @@
+//! Fig 15 — kernel-only throughput for all four compressors.
+//!
+//! The contrast with Fig 13 is the paper's core message: cuSZ and cuSZx
+//! have *fast kernels* (paper: cuSZx averages 161.51 / 164.40 GB/s,
+//! cuSZ 46.39 / 59.44 GB/s) — their end-to-end collapse comes entirely
+//! from host work and transfers. cuSZp and cuZFP have identical kernel and
+//! end-to-end numbers by construction.
+
+use super::fig13_end_to_end::{measure, render};
+use super::Ctx;
+use crate::report::Report;
+
+/// Run the Fig 15 experiment.
+pub fn run(ctx: &Ctx) {
+    let mut report = Report::new("fig15", "Kernel throughput (GB/s)", &ctx.out_dir);
+    let cells = measure(ctx, true);
+    render(&mut report, &cells, "Kernel");
+    report.line(
+        "\npaper: cuSZx kernels avg 161.51 (comp) / 164.40 (decomp) GB/s; \
+cuSZ 46.39 / 59.44; cuSZp and cuZFP equal their end-to-end numbers \
+(single kernel); cuSZp kernel throughput is >2x cuSZ's",
+    );
+    report.save_json(&cells);
+    report.save_text();
+}

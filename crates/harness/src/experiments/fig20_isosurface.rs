@@ -1,0 +1,74 @@
+//! Fig 20 — isosurface quality on NYX at CR ≈ 8.
+//!
+//! The paper renders isosurfaces and eyeballs artifacts; we quantify the
+//! same phenomenon with the crossing-cell Jaccard similarity: the set of
+//! grid cells the isosurface passes through must match the original's.
+//! cuSZp at CR≈8 keeps the surface nearly cell-identical; cuZFP at the
+//! equivalent rate (4 bits/value) perturbs it visibly.
+
+use super::fig16_artifacts::find_eb_for_ratio;
+use super::Ctx;
+use crate::measure::measure_pipeline;
+use crate::report::{f2, Report};
+use baselines::common::CuszpAdapter;
+use baselines::CuzfpLike;
+use datasets::{nyx, DatasetId};
+use gpu_sim::DeviceSpec;
+use metrics::isosurface::isosurface_similarity;
+use serde::Serialize;
+
+/// One compressor's isosurface result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Compressor name.
+    pub compressor: String,
+    /// Achieved CR.
+    pub ratio: f64,
+    /// Crossing-cell Jaccard similarity to the original isosurface.
+    pub similarity: f64,
+}
+
+/// Run the Fig 20 experiment.
+pub fn run(ctx: &Ctx) {
+    let mut report = Report::new(
+        "fig20",
+        "Isosurface similarity, NYX temperature, CR ~ 8",
+        &ctx.out_dir,
+    );
+    let spec = DeviceSpec::a100();
+    let field = nyx::field("temperature", &ctx.scale.shape(DatasetId::Nyx));
+    // The paper uses isovalue 0 on a different field normalization; we use
+    // the field median so the surface cuts through the bulk of the volume.
+    // The isovalue sits at the 75th percentile: through real structure,
+    // away from the log-normal bulk where quantization plateaus would make
+    // the crossing set degenerate for every compressor.
+    let mut sorted = field.data.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let isovalue = sorted[sorted.len() * 3 / 4];
+
+    let cuszp = CuszpAdapter::new();
+    let (eb, _) = find_eb_for_ratio(&cuszp, &field, 8.0);
+    let m1 = measure_pipeline(&spec, &cuszp, &field, eb);
+    let cuzfp = CuzfpLike::new(4);
+    let m2 = measure_pipeline(&spec, &cuzfp, &field, 0.0);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, m) in [("cuSZp", &m1), ("cuZFP", &m2)] {
+        let sim = isosurface_similarity(&field.shape, &field.data, &m.reconstruction, isovalue);
+        rows.push(vec![name.to_string(), f2(m.ratio), format!("{sim:.4}")]);
+        out.push(Row {
+            compressor: name.to_string(),
+            ratio: m.ratio,
+            similarity: sim,
+        });
+    }
+    report.table(&["compressor", "CR", "isosurface similarity"], &rows);
+    report.line(&format!(
+        "\npaper: cuSZp at CR~8 is visually identical to the original isosurface; \
+cuZFP shows visible artifacts. Here: cuSZp similarity {:.4} vs cuZFP {:.4}.",
+        out[0].similarity, out[1].similarity
+    ));
+    report.save_json(&out);
+    report.save_text();
+}

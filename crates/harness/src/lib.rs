@@ -1,0 +1,48 @@
+//! # harness — reproduction of every table and figure in the cuSZp paper
+//!
+//! Each experiment module regenerates one table/figure of the paper's
+//! evaluation (Section 5, plus the Section 6 discussion), printing the
+//! paper's reported values next to the values measured on this
+//! repository's implementations, and writing machine-readable JSON under
+//! `artifacts/`. The `repro` binary drives them:
+//!
+//! ```text
+//! repro all            # every experiment
+//! repro fig13          # one experiment
+//! repro table3 --scale medium
+//! ```
+//!
+//! See DESIGN.md §4 for the experiment ↔ module index.
+
+pub mod experiments;
+pub mod measure;
+pub mod report;
+
+pub use measure::{measure_pipeline, resolve_bound, Measurement};
+pub use report::Report;
+
+use baselines::common::CuszpAdapter;
+use baselines::{Compressor, CuszLike, CuszxLike, CuzfpLike};
+
+/// The three error-bounded compressors (cuSZp + the two error-bounded
+/// baselines), as used by Table 3 and the REL-swept figures.
+pub fn error_bounded_compressors() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(CuszpAdapter::new()),
+        Box::new(CuszLike::new()),
+        Box::new(CuszxLike::new()),
+    ]
+}
+
+/// All four compressors; cuZFP runs at the given fixed rate.
+pub fn all_compressors(cuzfp_rate: u32) -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(CuszpAdapter::new()),
+        Box::new(CuszLike::new()),
+        Box::new(CuszxLike::new()),
+        Box::new(CuzfpLike::new(cuzfp_rate)),
+    ]
+}
+
+/// The paper's cuZFP fixed-rate sweep (§5.2).
+pub const CUZFP_RATES: [u32; 4] = [4, 8, 16, 24];

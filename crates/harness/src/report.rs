@@ -1,0 +1,124 @@
+//! Report rendering: aligned console tables with paper-vs-measured
+//! columns, plus JSON artifacts under `artifacts/`.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A report being assembled for one experiment.
+pub struct Report {
+    /// Experiment id (e.g. "fig13").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    lines: Vec<String>,
+    out_dir: PathBuf,
+}
+
+impl Report {
+    /// Start a report for experiment `id`, writing artifacts to `out_dir`.
+    pub fn new(id: &str, title: &str, out_dir: &Path) -> Report {
+        std::fs::create_dir_all(out_dir).expect("create artifacts dir");
+        let mut r = Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            lines: Vec::new(),
+            out_dir: out_dir.to_path_buf(),
+        };
+        r.line(&format!("\n=== {} — {} ===", id, title));
+        r
+    }
+
+    /// Append and echo a line.
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        self.lines.push(s.to_string());
+    }
+
+    /// Append a table: header row + data rows, auto-aligned.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        self.line(&fmt_row(&head));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        self.line(&"-".repeat(total));
+        for row in rows {
+            self.line(&fmt_row(row));
+        }
+    }
+
+    /// Write a serializable payload as `artifacts/<id>.json`.
+    pub fn save_json<T: Serialize>(&self, payload: &T) {
+        let path = self.out_dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(payload).expect("serialize report");
+        std::fs::write(&path, json).expect("write report json");
+        println!("[{}] JSON written to {}", self.id, path.display());
+    }
+
+    /// Write the accumulated console text as `artifacts/<id>.txt`.
+    pub fn save_text(&self) {
+        let path = self.out_dir.join(format!("{}.txt", self.id));
+        let mut f = std::fs::File::create(&path).expect("create report txt");
+        for l in &self.lines {
+            writeln!(f, "{l}").expect("write report txt");
+        }
+    }
+
+    /// Artifact output directory.
+    pub fn out_dir(&self) -> &Path {
+        &self.out_dir
+    }
+}
+
+/// Format a float with 2 decimals (table cells).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_saves() {
+        let dir = std::env::temp_dir().join(format!("cuszp_report_{}", std::process::id()));
+        let mut r = Report::new("test", "unit", &dir);
+        r.table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        r.save_text();
+        r.save_json(&vec![1, 2, 3]);
+        assert!(dir.join("test.txt").exists());
+        assert!(dir.join("test.json").exists());
+        let text = std::fs::read_to_string(dir.join("test.txt")).unwrap();
+        assert!(text.contains("333"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.0321), "3.2%");
+    }
+}

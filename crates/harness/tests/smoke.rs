@@ -1,0 +1,36 @@
+//! Smoke test: every registered experiment must run to completion at Tiny
+//! scale and leave its artifacts behind — the CI guarantee that `repro all`
+//! cannot bit-rot.
+
+use harness::experiments::{registry, Ctx};
+
+#[test]
+fn every_experiment_runs_at_tiny_scale() {
+    let out_dir = std::env::temp_dir().join(format!("cuszp_smoke_{}", std::process::id()));
+    let ctx = Ctx {
+        scale: datasets::Scale::Tiny,
+        out_dir: out_dir.clone(),
+        max_fields: 2,
+    };
+    for (id, _, runner) in registry() {
+        runner(&ctx);
+        let txt = out_dir.join(format!("{id}.txt"));
+        // fig17 doubles as fig18; every other experiment writes under its
+        // own id.
+        assert!(
+            txt.exists(),
+            "experiment {id} left no text artifact at {}",
+            txt.display()
+        );
+        let json = out_dir.join(format!("{id}.json"));
+        assert!(json.exists(), "experiment {id} left no JSON artifact");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json).expect("read json"))
+                .expect("artifact JSON parses");
+        assert!(
+            !parsed.is_null(),
+            "experiment {id} wrote a null JSON artifact"
+        );
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+}

@@ -1,0 +1,130 @@
+//! Block value-range CDFs (paper Fig 6): the smoothness evidence behind
+//! cuSZp's fixed-length encoding.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-block relative value ranges of a field, ready for CDF queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockRangeCdf {
+    /// Sorted relative ranges, one per block, each in `[0, 1]`.
+    pub sorted_ranges: Vec<f64>,
+    /// Block length used.
+    pub block_len: usize,
+}
+
+impl BlockRangeCdf {
+    /// Split `data` into consecutive blocks of `block_len` (tail block
+    /// included) and record each block's `(max − min) / global_range`.
+    ///
+    /// # Panics
+    /// Panics if `block_len == 0` or `data` is empty.
+    pub fn compute(data: &[f32], block_len: usize) -> Self {
+        assert!(block_len > 0, "block_len must be positive");
+        assert!(!data.is_empty(), "empty data");
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let global = (hi - lo) as f64;
+
+        let mut ranges: Vec<f64> = data
+            .chunks(block_len)
+            .map(|block| {
+                let mut blo = f32::INFINITY;
+                let mut bhi = f32::NEG_INFINITY;
+                for &v in block {
+                    blo = blo.min(v);
+                    bhi = bhi.max(v);
+                }
+                if global > 0.0 {
+                    ((bhi - blo) as f64 / global).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        ranges.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        BlockRangeCdf {
+            sorted_ranges: ranges,
+            block_len,
+        }
+    }
+
+    /// Fraction of blocks whose relative range is ≤ `x` (the CDF value the
+    /// paper plots).
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        let n = self.sorted_ranges.len();
+        let count = self.sorted_ranges.partition_point(|&r| r <= x);
+        count as f64 / n as f64
+    }
+
+    /// Evaluate the CDF at evenly spaced points in `[0, 1]` — the series a
+    /// Fig 6 plot needs.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        (0..=points)
+            .map(|i| {
+                let x = i as f64 / points as f64;
+                (x, self.cdf_at(x))
+            })
+            .collect()
+    }
+
+    /// Median relative block range — a scalar smoothness summary.
+    pub fn median(&self) -> f64 {
+        self.sorted_ranges[self.sorted_ranges.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_blocks_have_zero_range() {
+        let data = vec![5.0f32; 64];
+        let cdf = BlockRangeCdf::compute(&data, 8);
+        assert_eq!(cdf.sorted_ranges.len(), 8);
+        assert!(cdf.sorted_ranges.iter().all(|&r| r == 0.0));
+        assert_eq!(cdf.cdf_at(0.0), 1.0);
+    }
+
+    #[test]
+    fn one_jump_block_detected() {
+        // 7 smooth blocks and one block containing the full range.
+        let mut data = vec![0.0f32; 64];
+        data[60] = 100.0;
+        let cdf = BlockRangeCdf::compute(&data, 8);
+        assert_eq!(cdf.cdf_at(0.5), 7.0 / 8.0);
+        assert_eq!(cdf.cdf_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn smooth_ramp_has_small_block_ranges() {
+        let data: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        let cdf = BlockRangeCdf::compute(&data, 8);
+        // Each block spans 7/1023 of the range.
+        assert!(cdf.median() < 0.01);
+        assert_eq!(cdf.cdf_at(0.01), 1.0);
+    }
+
+    #[test]
+    fn series_is_monotonic() {
+        let data: Vec<f32> = (0..512).map(|i| ((i * 7919) % 101) as f32).collect();
+        let cdf = BlockRangeCdf::compute(&data, 32);
+        let series = cdf.series(20);
+        assert_eq!(series.len(), 21);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(series[20].1, 1.0);
+    }
+
+    #[test]
+    fn tail_block_counted() {
+        let data = vec![1.0f32; 20];
+        let cdf = BlockRangeCdf::compute(&data, 8);
+        assert_eq!(cdf.sorted_ranges.len(), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! Pointwise reconstruction-error statistics (the paper's `compareData`).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics comparing a reconstruction against its original.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// `max_i |d_i − d'_i|` — what an ABS error bound limits.
+    pub max_abs_error: f64,
+    /// `max_abs_error / (max − min)` — what a REL error bound limits.
+    pub max_rel_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// RMSE normalized by the value range.
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio in dB: `20·log10(range / rmse)`.
+    pub psnr: f64,
+    /// Pearson correlation coefficient between original and reconstruction.
+    pub pearson: f64,
+    /// Value range (max − min) of the original.
+    pub value_range: f64,
+}
+
+impl ErrorStats {
+    /// Compute statistics over paired samples.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or the input is empty.
+    pub fn compute(original: &[f32], reconstructed: &[f32]) -> Self {
+        assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+        assert!(!original.is_empty(), "empty input");
+        let n = original.len() as f64;
+
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut max_abs = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        let mut sum_o = 0.0f64;
+        let mut sum_r = 0.0f64;
+        for (&o, &r) in original.iter().zip(reconstructed) {
+            let (o, r) = (o as f64, r as f64);
+            lo = lo.min(o);
+            hi = hi.max(o);
+            let e = (o - r).abs();
+            max_abs = max_abs.max(e);
+            sq_sum += e * e;
+            sum_o += o;
+            sum_r += r;
+        }
+        let range = hi - lo;
+        let rmse = (sq_sum / n).sqrt();
+        let (mean_o, mean_r) = (sum_o / n, sum_r / n);
+
+        let mut cov = 0.0f64;
+        let mut var_o = 0.0f64;
+        let mut var_r = 0.0f64;
+        for (&o, &r) in original.iter().zip(reconstructed) {
+            let (do_, dr) = (o as f64 - mean_o, r as f64 - mean_r);
+            cov += do_ * dr;
+            var_o += do_ * do_;
+            var_r += dr * dr;
+        }
+        let pearson = if var_o > 0.0 && var_r > 0.0 {
+            cov / (var_o.sqrt() * var_r.sqrt())
+        } else if var_o == var_r {
+            1.0
+        } else {
+            0.0
+        };
+
+        let psnr = if rmse > 0.0 && range > 0.0 {
+            20.0 * (range / rmse).log10()
+        } else {
+            f64::INFINITY
+        };
+        ErrorStats {
+            max_abs_error: max_abs,
+            max_rel_error: if range > 0.0 { max_abs / range } else { 0.0 },
+            rmse,
+            nrmse: if range > 0.0 { rmse / range } else { 0.0 },
+            psnr,
+            pearson,
+            value_range: range,
+        }
+    }
+
+    /// True iff every pointwise error is within `bound` (with a one-ULP-ish
+    /// slack for the `f32` round trip, as real compressors' checkers use).
+    pub fn within_bound(&self, bound: f64) -> bool {
+        self.max_abs_error <= bound * (1.0 + 1e-6) + f64::EPSILON
+    }
+}
+
+/// Assert the error-bound contract, with a readable message.
+///
+/// # Panics
+/// Panics when any element violates the bound.
+pub fn assert_error_bound(original: &[f32], reconstructed: &[f32], bound: f64) {
+    for (i, (&o, &r)) in original.iter().zip(reconstructed).enumerate() {
+        let e = (o as f64 - r as f64).abs();
+        assert!(
+            e <= bound * (1.0 + 1e-6) + f64::EPSILON,
+            "error bound violated at index {i}: |{o} - {r}| = {e} > {bound}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_reconstruction() {
+        let d = vec![1.0f32, 2.0, 3.0];
+        let s = ErrorStats::compute(&d, &d);
+        assert_eq!(s.max_abs_error, 0.0);
+        assert!(s.psnr.is_infinite());
+        assert!((s.pearson - 1.0).abs() < 1e-12);
+        assert!(s.within_bound(0.0));
+    }
+
+    #[test]
+    fn known_errors() {
+        let o = vec![0.0f32, 1.0, 2.0, 3.0];
+        let r = vec![0.1f32, 0.9, 2.1, 2.9];
+        let s = ErrorStats::compute(&o, &r);
+        assert!((s.max_abs_error - 0.1).abs() < 1e-6);
+        assert!((s.value_range - 3.0).abs() < 1e-12);
+        assert!((s.max_rel_error - 0.1 / 3.0).abs() < 1e-6);
+        assert!((s.rmse - 0.1).abs() < 1e-6);
+        // PSNR = 20 log10(3 / 0.1) ≈ 29.54 dB.
+        assert!((s.psnr - 29.5424).abs() < 0.01);
+        assert!(s.within_bound(0.1000001));
+        assert!(!s.within_bound(0.05));
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let o = vec![0.0f32, 1.0, 2.0, 3.0];
+        let r = vec![3.0f32, 2.0, 1.0, 0.0];
+        let s = ErrorStats::compute(&o, &r);
+        assert!((s.pearson + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assert_bound_passes_and_fails() {
+        let o = vec![1.0f32, 2.0];
+        let r = vec![1.05f32, 1.95];
+        assert_error_bound(&o, &r, 0.051);
+        let result = std::panic::catch_unwind(|| assert_error_bound(&o, &r, 0.01));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        ErrorStats::compute(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_field_edge_case() {
+        let o = vec![5.0f32; 10];
+        let s = ErrorStats::compute(&o, &o);
+        assert_eq!(s.value_range, 0.0);
+        assert_eq!(s.max_rel_error, 0.0);
+        assert!((s.pearson - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Slice rendering to PPM (QCAT's `PlotSliceImage` equivalent) and the
+//! stripe-artifact score used to quantify Fig 16's cuSZx banding.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Map `t ∈ [0,1]` through a compact viridis-like perceptual colormap.
+fn colormap(t: f64) -> [u8; 3] {
+    // Piecewise-linear fit through five viridis anchors.
+    const ANCHORS: [(f64, [f64; 3]); 5] = [
+        (0.00, [68.0, 1.0, 84.0]),
+        (0.25, [59.0, 82.0, 139.0]),
+        (0.50, [33.0, 145.0, 140.0]),
+        (0.75, [94.0, 201.0, 98.0]),
+        (1.00, [253.0, 231.0, 37.0]),
+    ];
+    let t = t.clamp(0.0, 1.0);
+    for w in ANCHORS.windows(2) {
+        let (t0, c0) = w[0];
+        let (t1, c1) = w[1];
+        if t <= t1 {
+            let f = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+            return [
+                (c0[0] + f * (c1[0] - c0[0])) as u8,
+                (c0[1] + f * (c1[1] - c0[1])) as u8,
+                (c0[2] + f * (c1[2] - c0[2])) as u8,
+            ];
+        }
+    }
+    [253, 231, 37]
+}
+
+/// Render a `height × width` scalar plane to a binary PPM (P6) file,
+/// normalizing values into the colormap range.
+pub fn write_ppm(path: &Path, height: usize, width: usize, plane: &[f32]) -> io::Result<()> {
+    assert_eq!(plane.len(), height * width, "plane/shape mismatch");
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in plane {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(f32::MIN_POSITIVE) as f64;
+
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P6\n{width} {height}\n255\n")?;
+    for &v in plane {
+        let t = ((v - lo) as f64) / span;
+        w.write_all(&colormap(t))?;
+    }
+    w.flush()
+}
+
+/// Stripe-artifact score in `[0, 1]`: the fraction of pixels that sit in a
+/// horizontal run of ≥ `min_run` *exactly equal* values.
+///
+/// cuSZx's constant-block flush replaces entire blocks with their range
+/// midpoint; on smooth 2-D data that manifests as long constant horizontal
+/// runs — the Fig 16 stripes. Original scientific data and cuSZp output
+/// score near 0; cuSZx output under a loose bound scores high.
+pub fn stripe_score(height: usize, width: usize, plane: &[f32], min_run: usize) -> f64 {
+    assert_eq!(plane.len(), height * width);
+    assert!(min_run >= 2);
+    let mut striped = 0usize;
+    for row in 0..height {
+        let r = &plane[row * width..(row + 1) * width];
+        let mut start = 0usize;
+        for i in 1..=width {
+            if i == width || r[i] != r[start] {
+                let run = i - start;
+                if run >= min_run {
+                    striped += run;
+                }
+                start = i;
+            }
+        }
+    }
+    striped as f64 / (height * width) as f64
+}
+
+/// Banding score in `[0, 1]`: how spatially *coherent* the reconstruction
+/// error is over row segments of `segment` pixels.
+///
+/// Computed as `RMS(segment-mean error) / RMS(error)`. A compressor that
+/// flushes whole blocks to a constant (cuSZx) leaves each segment's error
+/// sharing one sign and magnitude → score near 1 → visible stripes
+/// (Fig 16). A predictor-based compressor's error oscillates inside the
+/// segment → the segment means cancel → score near `1/sqrt(segment)`.
+pub fn banding_score(original: &[f32], reconstructed: &[f32], segment: usize) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    assert!(segment >= 2);
+    let mut err_sq = 0.0f64;
+    let mut seg_sq = 0.0f64;
+    let mut segments = 0usize;
+    for (o_chunk, r_chunk) in original.chunks(segment).zip(reconstructed.chunks(segment)) {
+        let mut sum = 0.0f64;
+        for (&o, &r) in o_chunk.iter().zip(r_chunk) {
+            let e = r as f64 - o as f64;
+            err_sq += e * e;
+            sum += e;
+        }
+        let mean = sum / o_chunk.len() as f64;
+        seg_sq += mean * mean;
+        segments += 1;
+    }
+    let rms_err = (err_sq / original.len() as f64).sqrt();
+    let rms_seg = (seg_sq / segments as f64).sqrt();
+    if rms_err > 0.0 {
+        (rms_seg / rms_err).clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banding_high_for_flush_error() {
+        // Error = constant +1 over each segment (flush-style).
+        let orig: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let recon: Vec<f32> = orig.iter().map(|&v| v + 1.0).collect();
+        assert!(banding_score(&orig, &recon, 32) > 0.99);
+    }
+
+    #[test]
+    fn banding_low_for_oscillating_error() {
+        let orig: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let recon: Vec<f32> = orig
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(banding_score(&orig, &recon, 32) < 0.1);
+    }
+
+    #[test]
+    fn banding_zero_for_exact() {
+        let orig: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        assert_eq!(banding_score(&orig, &orig, 8), 0.0);
+    }
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(colormap(0.0), [68, 1, 84]);
+        assert_eq!(colormap(1.0), [253, 231, 37]);
+        // Clamped.
+        assert_eq!(colormap(-5.0), colormap(0.0));
+        assert_eq!(colormap(5.0), colormap(1.0));
+    }
+
+    #[test]
+    fn ppm_writes_header_and_pixels() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cuszp_ppm_test_{}.ppm", std::process::id()));
+        let plane: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        write_ppm(&path, 3, 4, &plane).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(bytes.len(), 11 + 12 * 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stripe_score_zero_on_gradient() {
+        let plane: Vec<f32> = (0..100).map(|v| v as f32).collect();
+        assert_eq!(stripe_score(10, 10, &plane, 4), 0.0);
+    }
+
+    #[test]
+    fn stripe_score_one_on_constant_rows() {
+        let mut plane = vec![0.0f32; 100];
+        for (i, v) in plane.iter_mut().enumerate() {
+            *v = (i / 10) as f32; // each row constant
+        }
+        assert_eq!(stripe_score(10, 10, &plane, 4), 1.0);
+    }
+
+    #[test]
+    fn stripe_score_partial() {
+        // One half-constant row out of two rows.
+        let mut plane: Vec<f32> = (0..20).map(|v| v as f32).collect();
+        for v in plane.iter_mut().take(5) {
+            *v = 7.0;
+        }
+        let s = stripe_score(2, 10, &plane, 4);
+        assert!((s - 0.25).abs() < 1e-12, "score {s}");
+    }
+}

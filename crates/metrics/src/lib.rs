@@ -1,0 +1,28 @@
+//! # metrics — quality and analysis metrics for lossy compression
+//!
+//! The QCAT-equivalent toolkit used throughout the evaluation:
+//!
+//! * [`error`] — pointwise error statistics (max abs/rel error, NRMSE,
+//!   PSNR, Pearson correlation), matching the paper's `compareData` output
+//!   and the error-bound check every compressor must pass.
+//! * [`ssim`] — windowed structural similarity for 1-D through 4-D fields
+//!   (paper Fig 18, `calculateSSIM`).
+//! * [`cdf`] — block value-range CDFs (paper Fig 6, the smoothness argument
+//!   behind fixed-length encoding).
+//! * [`rate`] — compression-ratio and bit-rate accounting (Table 3 and the
+//!   rate-distortion x-axes).
+//! * [`image`] — PPM slice rendering with a perceptual colormap plus the
+//!   stripe-artifact score used for Fig 16's cuSZx discussion
+//!   (`PlotSliceImage`).
+//! * [`isosurface`] — isosurface cell-crossing similarity, the quantitative
+//!   stand-in for Fig 20's isosurface visualizations.
+
+pub mod cdf;
+pub mod error;
+pub mod image;
+pub mod isosurface;
+pub mod rate;
+pub mod ssim;
+
+pub use error::ErrorStats;
+pub use rate::CompressionStats;

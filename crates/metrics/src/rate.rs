@@ -1,0 +1,113 @@
+//! Compression-ratio and bit-rate accounting (Table 3, Figs 17/18 x-axes).
+
+use serde::{Deserialize, Serialize};
+
+/// Size accounting for one compression run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Original size in bytes.
+    pub original_bytes: u64,
+    /// Compressed size in bytes.
+    pub compressed_bytes: u64,
+}
+
+impl CompressionStats {
+    /// From element count (assumes `f32` data) and a compressed byte count.
+    pub fn for_f32(elements: usize, compressed_bytes: u64) -> Self {
+        CompressionStats {
+            original_bytes: (elements * 4) as u64,
+            compressed_bytes,
+        }
+    }
+
+    /// Compression ratio `original / compressed` (paper §2.1).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.original_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+
+    /// Bit rate: mean compressed bits per data point (32 / ratio for `f32`).
+    pub fn bit_rate(&self) -> f64 {
+        if self.original_bytes == 0 {
+            0.0
+        } else {
+            self.compressed_bytes as f64 * 8.0 / (self.original_bytes as f64 / 4.0)
+        }
+    }
+}
+
+/// `(min, max, mean)` summary of a set of ratios — one Table 3 cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RatioSummary {
+    /// Smallest per-field ratio.
+    pub min: f64,
+    /// Largest per-field ratio.
+    pub max: f64,
+    /// Mean per-field ratio.
+    pub avg: f64,
+}
+
+impl RatioSummary {
+    /// Summarize a non-empty slice of ratios.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn of(ratios: &[f64]) -> Self {
+        assert!(!ratios.is_empty(), "no ratios to summarize");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &r in ratios {
+            min = min.min(r);
+            max = max.max(r);
+            sum += r;
+        }
+        RatioSummary {
+            min,
+            max,
+            avg: sum / ratios.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bit_rate() {
+        let s = CompressionStats::for_f32(1000, 500);
+        assert_eq!(s.original_bytes, 4000);
+        assert!((s.ratio() - 8.0).abs() < 1e-12);
+        assert!((s.bit_rate() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_rate_inverse_of_ratio() {
+        let s = CompressionStats::for_f32(4096, 1024);
+        assert!((s.bit_rate() * s.ratio() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_compressed_is_infinite_ratio() {
+        let s = CompressionStats::for_f32(10, 0);
+        assert!(s.ratio().is_infinite());
+    }
+
+    #[test]
+    fn summary() {
+        let r = RatioSummary::of(&[2.0, 8.0, 5.0]);
+        assert_eq!(r.min, 2.0);
+        assert_eq!(r.max, 8.0);
+        assert!((r.avg - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_summary_panics() {
+        RatioSummary::of(&[]);
+    }
+}

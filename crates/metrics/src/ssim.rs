@@ -1,0 +1,217 @@
+//! Windowed structural similarity (SSIM) for 1-D to 4-D fields.
+//!
+//! Follows Wang et al. 2004 (the paper's reference [35]) with the standard
+//! constants `K1 = 0.01`, `K2 = 0.03` and the original field's value range
+//! as the dynamic range `L`. Windows are hypercubes slid with a stride, and
+//! the global SSIM is the mean over windows — the same construction QCAT's
+//! `calculateSSIM` uses for volumetric data.
+
+/// Window edge length per axis.
+pub const WINDOW: usize = 7;
+/// Stride between window origins per axis.
+pub const STRIDE: usize = 3;
+
+const K1: f64 = 0.01;
+const K2: f64 = 0.03;
+
+/// Mean SSIM between `a` (original) and `b` (reconstruction) interpreted
+/// with `shape` (row-major). Returns a value in `[-1, 1]`.
+///
+/// # Panics
+/// Panics if the lengths disagree with the shape, or shape is empty.
+pub fn ssim(a: &[f32], b: &[f32], shape: &[usize]) -> f64 {
+    let n: usize = shape.iter().product();
+    assert_eq!(a.len(), n, "a/shape mismatch");
+    assert_eq!(b.len(), n, "b/shape mismatch");
+    assert!(!shape.is_empty() && shape.len() <= 4);
+
+    // Dynamic range from the original.
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in a {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = (hi - lo) as f64;
+    if range == 0.0 {
+        // Constant original: SSIM is 1 iff the reconstruction matches.
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    let c1 = (K1 * range) * (K1 * range);
+    let c2 = (K2 * range) * (K2 * range);
+
+    // Window geometry per axis (window clamped to the axis length).
+    let ndim = shape.len();
+    let mut win = [1usize; 4];
+    let mut origins: Vec<Vec<usize>> = Vec::with_capacity(ndim);
+    for (d, &len) in shape.iter().enumerate() {
+        let w = WINDOW.min(len);
+        win[d] = w;
+        let mut o: Vec<usize> = (0..=len - w).step_by(STRIDE).collect();
+        // Always include the last valid origin for full coverage.
+        if *o.last().expect("nonempty origins") != len - w {
+            o.push(len - w);
+        }
+        origins.push(o);
+    }
+
+    // Row-major strides.
+    let mut strides = [0usize; 4];
+    let mut acc = 1usize;
+    for d in (0..ndim).rev() {
+        strides[d] = acc;
+        acc *= shape[d];
+    }
+
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    // Iterate the cartesian product of per-axis origins.
+    let mut cursor = vec![0usize; ndim];
+    'outer: loop {
+        let origin: Vec<usize> = cursor
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| origins[d][c])
+            .collect();
+        total += window_ssim(a, b, &origin, &win[..ndim], &strides[..ndim], c1, c2);
+        count += 1;
+
+        // Odometer increment.
+        for d in (0..ndim).rev() {
+            cursor[d] += 1;
+            if cursor[d] < origins[d].len() {
+                continue 'outer;
+            }
+            cursor[d] = 0;
+        }
+        break;
+    }
+    total / count as f64
+}
+
+fn window_ssim(
+    a: &[f32],
+    b: &[f32],
+    origin: &[usize],
+    win: &[usize],
+    strides: &[usize],
+    c1: f64,
+    c2: f64,
+) -> f64 {
+    let ndim = origin.len();
+    let count: usize = win.iter().product();
+    let mut sum_a = 0.0f64;
+    let mut sum_b = 0.0f64;
+    let mut sum_aa = 0.0f64;
+    let mut sum_bb = 0.0f64;
+    let mut sum_ab = 0.0f64;
+
+    let mut cursor = vec![0usize; ndim];
+    loop {
+        let mut idx = 0usize;
+        for d in 0..ndim {
+            idx += (origin[d] + cursor[d]) * strides[d];
+        }
+        let (va, vb) = (a[idx] as f64, b[idx] as f64);
+        sum_a += va;
+        sum_b += vb;
+        sum_aa += va * va;
+        sum_bb += vb * vb;
+        sum_ab += va * vb;
+
+        let mut done = true;
+        for d in (0..ndim).rev() {
+            cursor[d] += 1;
+            if cursor[d] < win[d] {
+                done = false;
+                break;
+            }
+            cursor[d] = 0;
+        }
+        if done {
+            break;
+        }
+    }
+
+    let nf = count as f64;
+    let mu_a = sum_a / nf;
+    let mu_b = sum_b / nf;
+    let var_a = (sum_aa / nf - mu_a * mu_a).max(0.0);
+    let var_b = (sum_bb / nf - mu_b * mu_b).max(0.0);
+    let cov = sum_ab / nf - mu_a * mu_b;
+
+    ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+        / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let d = ramp(100);
+        assert!((ssim(&d, &d, &[10, 10]) - 1.0).abs() < 1e-12);
+        assert!((ssim(&d, &d, &[100]) - 1.0).abs() < 1e-12);
+        let d3 = ramp(4 * 5 * 5);
+        assert!((ssim(&d3, &d3, &[4, 5, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_noise_close_to_one() {
+        let a = ramp(400);
+        let b: Vec<f32> = a.iter().map(|&v| v + 0.01).collect();
+        let s = ssim(&a, &b, &[20, 20]);
+        assert!(s > 0.99, "ssim {s}");
+    }
+
+    #[test]
+    fn structured_damage_lowers_ssim_more_than_noise() {
+        // Flattening (losing structure) should hurt SSIM badly.
+        let a = ramp(400);
+        let mean = 199.5f32;
+        let flat = vec![mean; 400];
+        let s_flat = ssim(&a, &flat, &[20, 20]);
+        let jitter: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let s_jitter = ssim(&a, &jitter, &[20, 20]);
+        assert!(s_flat < s_jitter, "flat {s_flat} vs jitter {s_jitter}");
+        assert!(s_flat < 0.6);
+    }
+
+    #[test]
+    fn constant_field_edge_cases() {
+        let a = vec![3.0f32; 64];
+        assert_eq!(ssim(&a, &a, &[8, 8]), 1.0);
+        let b = vec![4.0f32; 64];
+        assert_eq!(ssim(&a, &b, &[8, 8]), 0.0);
+    }
+
+    #[test]
+    fn axes_shorter_than_window_are_clamped() {
+        let a = ramp(3 * 50);
+        let s = ssim(&a, &a, &[3, 50]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_in_range_for_random_pair() {
+        let a: Vec<f32> = (0..512).map(|i| ((i * 2654435761usize) % 1000) as f32).collect();
+        let b: Vec<f32> = (0..512).map(|i| ((i * 40503usize + 7) % 1000) as f32).collect();
+        let s = ssim(&a, &b, &[8, 8, 8]);
+        assert!((-1.0..=1.0).contains(&s), "ssim {s}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        ssim(&[1.0; 10], &[1.0; 10], &[3, 3]);
+    }
+}

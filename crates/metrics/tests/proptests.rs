@@ -1,0 +1,92 @@
+//! Property tests for the metrics crate: mathematical invariants of the
+//! quality measures.
+
+use metrics::cdf::BlockRangeCdf;
+use metrics::image::banding_score;
+use metrics::rate::{CompressionStats, RatioSummary};
+use metrics::ssim::ssim;
+use metrics::ErrorStats;
+use proptest::prelude::*;
+
+fn data_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0e4f32..1.0e4, 8..500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PSNR is infinite iff the reconstruction is exact; otherwise finite
+    /// and decreasing in error scale.
+    #[test]
+    fn psnr_ordering(data in data_strategy(), noise in 0.001f32..10.0) {
+        prop_assume!(data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+            > data.iter().cloned().fold(f32::INFINITY, f32::min));
+        let exact = ErrorStats::compute(&data, &data);
+        prop_assert!(exact.psnr.is_infinite());
+        let small: Vec<f32> = data.iter().map(|&v| v + noise).collect();
+        let big: Vec<f32> = data.iter().map(|&v| v + 4.0 * noise).collect();
+        let s_small = ErrorStats::compute(&data, &small);
+        let s_big = ErrorStats::compute(&data, &big);
+        // `>=` rather than `>`: f32 rounding can absorb the noise entirely
+        // on large-magnitude values, making both errors zero.
+        prop_assert!(s_small.psnr + 1e-9 >= s_big.psnr);
+        prop_assert!(s_small.max_abs_error <= 4.0 * noise as f64 * (1.0 + 1e-3) + 1e-6);
+    }
+
+    /// max_rel_error is max_abs_error normalized by the range.
+    #[test]
+    fn rel_error_is_normalized_abs(data in data_strategy(), noise in 0.01f32..5.0) {
+        let recon: Vec<f32> = data.iter().map(|&v| v - noise).collect();
+        let s = ErrorStats::compute(&data, &recon);
+        if s.value_range > 0.0 {
+            prop_assert!((s.max_rel_error - s.max_abs_error / s.value_range).abs() < 1e-12);
+        }
+    }
+
+    /// SSIM is 1 on identity and within [-1, 1] always.
+    #[test]
+    fn ssim_bounds(data in data_strategy()) {
+        let n = data.len();
+        prop_assert!((ssim(&data, &data, &[n]) - 1.0).abs() < 1e-9);
+        let shifted: Vec<f32> = data.iter().rev().cloned().collect();
+        let s = ssim(&data, &shifted, &[n]);
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&s));
+    }
+
+    /// The block-range CDF is a valid CDF: monotone, ends at 1.
+    #[test]
+    fn cdf_is_valid(data in data_strategy(), block in 2usize..64) {
+        let cdf = BlockRangeCdf::compute(&data, block);
+        let series = cdf.series(25);
+        for w in series.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+        prop_assert!(cdf.sorted_ranges.iter().all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    /// ratio × bit_rate == 32 for f32 data, for any sizes.
+    #[test]
+    fn ratio_bitrate_duality(elements in 1usize..1_000_000, compressed in 1u64..4_000_000) {
+        let s = CompressionStats::for_f32(elements, compressed);
+        prop_assert!((s.ratio() * s.bit_rate() - 32.0).abs() < 1e-6);
+    }
+
+    /// Summary bounds its inputs.
+    #[test]
+    fn summary_bounds(ratios in proptest::collection::vec(0.1f64..200.0, 1..40)) {
+        let s = RatioSummary::of(&ratios);
+        prop_assert!(s.min <= s.avg && s.avg <= s.max);
+        prop_assert!(ratios.iter().all(|&r| s.min <= r && r <= s.max));
+    }
+
+    /// Banding is scale-invariant in the error and bounded by 1.
+    #[test]
+    fn banding_bounds(data in data_strategy(), segment in 2usize..64) {
+        let recon: Vec<f32> = data.iter().enumerate()
+            .map(|(i, &v)| v + if i % 3 == 0 { 0.5 } else { -0.25 })
+            .collect();
+        let b = banding_score(&data, &recon, segment);
+        prop_assert!((0.0..=1.0).contains(&b));
+    }
+}

@@ -1,0 +1,64 @@
+//! Archive a whole dataset: compress every field of a synthetic NYX
+//! snapshot into one `.cuszpar` container, write it to disk, reload it,
+//! and verify every field — the batch workflow a simulation campaign would
+//! use for post-hoc analysis storage.
+//!
+//! ```text
+//! cargo run --release --example archive_dataset
+//! ```
+
+use cuszp_core::{Archive, CuszpConfig, ErrorBound};
+use datasets::{generate, DatasetId, Scale};
+
+fn main() {
+    let fields = generate(DatasetId::Nyx, Scale::Small);
+    let bound = ErrorBound::Rel(1e-3);
+
+    let mut archive = Archive::new();
+    for field in &fields {
+        archive.push(
+            field.name.clone(),
+            field.shape.clone(),
+            &field.data,
+            bound,
+            CuszpConfig::default(),
+        );
+        let e = archive.entries.last().expect("just pushed");
+        println!(
+            "  {:<22} {:>9} -> {:>9} bytes ({:.2}x, eb {:.3e})",
+            field.name,
+            field.size_bytes(),
+            e.stream.stream_bytes(),
+            field.size_bytes() as f64 / e.stream.stream_bytes() as f64,
+            e.stream.eb
+        );
+    }
+
+    let path = std::env::temp_dir().join("nyx_snapshot.cuszpar");
+    std::fs::write(&path, archive.to_bytes()).expect("write archive");
+    println!(
+        "\narchived {} fields: {:.1} MB -> {:.1} MB ({:.2}x) at {}",
+        archive.entries.len(),
+        archive.original_bytes() as f64 / 1e6,
+        archive.stream_bytes() as f64 / 1e6,
+        archive.original_bytes() as f64 / archive.stream_bytes() as f64,
+        path.display()
+    );
+
+    // Reload and verify every field against its own bound.
+    let bytes = std::fs::read(&path).expect("read archive");
+    let reloaded = Archive::from_bytes(&bytes).expect("parse archive");
+    for field in &fields {
+        let restored: Vec<f32> = reloaded
+            .decompress(&field.name)
+            .expect("field present in archive");
+        let entry = reloaded.get(&field.name).expect("entry present");
+        assert!(
+            cuszp_core::verify::check_bound(&field.data, &restored, entry.stream.eb),
+            "{} violated its bound after the disk round trip",
+            field.name
+        );
+    }
+    println!("all {} fields verified within bound after reload", fields.len());
+    std::fs::remove_file(&path).ok();
+}
