@@ -141,7 +141,10 @@ mod tests {
         let out = comp.decompress(&mut gpu, stream.as_ref());
         let recon = gpu.d2h(&out);
         for (&d, &r) in data.iter().zip(&recon) {
-            assert!((d as f64 - r as f64).abs() <= 0.01 * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7);
+            assert!(
+                (d as f64 - r as f64).abs()
+                    <= 0.01 * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7
+            );
         }
     }
 

@@ -13,10 +13,7 @@ pub fn build_lengths(freq: &[u64]) -> Vec<u8> {
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Min-heap by weight (BinaryHeap is a max-heap).
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -244,7 +241,10 @@ mod tests {
             .map(|&l| 2.0f64.powi(-(l as i32)))
             .sum();
         assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
-        assert!((kraft - 1.0).abs() < 1e-9, "full tree expected, kraft {kraft}");
+        assert!(
+            (kraft - 1.0).abs() < 1e-9,
+            "full tree expected, kraft {kraft}"
+        );
     }
 
     #[test]

@@ -179,8 +179,8 @@ mod tests {
         forward_difference(&mut d, &shape);
         for i in 0..4i64 {
             for j in 0..4i64 {
-                let expect = at(&r, i, j) - at(&r, i - 1, j) - at(&r, i, j - 1)
-                    + at(&r, i - 1, j - 1);
+                let expect =
+                    at(&r, i, j) - at(&r, i - 1, j) - at(&r, i, j - 1) + at(&r, i - 1, j - 1);
                 assert_eq!(d[(i * 4 + j) as usize], expect, "at ({i},{j})");
             }
         }

@@ -87,7 +87,11 @@ impl CuszLike {
 }
 
 /// Pageable D2H transfer (the slow staged path the reference uses).
-fn d2h_pageable<T: gpu_sim::DeviceCopy>(gpu: &mut Gpu, buf: &DeviceBuffer<T>, len: usize) -> Vec<T> {
+fn d2h_pageable<T: gpu_sim::DeviceCopy>(
+    gpu: &mut Gpu,
+    buf: &DeviceBuffer<T>,
+    len: usize,
+) -> Vec<T> {
     gpu.d2h_prefix_pageable(buf, len)
 }
 
@@ -388,13 +392,18 @@ impl Compressor for CuszLike {
         // array through pageable memory to merge the sparse outliers on the
         // CPU — the second big Memcpy+CPU block in Fig 14b.
         let codes_host = d2h_pageable(gpu, &codes, n);
-        gpu.cpu_work("cusz-outlier-merge", n as u64 / 2 + s.outliers.len() as u64 * 4);
+        gpu.cpu_work(
+            "cusz-outlier-merge",
+            n as u64 / 2 + s.outliers.len() as u64 * 4,
+        );
         let codes = h2d_pageable(gpu, &codes_host);
 
         // Codes → residuals with outlier scatter.
         let delta = gpu.alloc::<i64>(n);
-        let outlier_idx = h2d_pageable(gpu, &s.outliers.iter().map(|&(i, _)| i).collect::<Vec<_>>());
-        let outlier_val = h2d_pageable(gpu, &s.outliers.iter().map(|&(_, v)| v).collect::<Vec<_>>());
+        let outlier_idx =
+            h2d_pageable(gpu, &s.outliers.iter().map(|&(i, _)| i).collect::<Vec<_>>());
+        let outlier_val =
+            h2d_pageable(gpu, &s.outliers.iter().map(|&(_, v)| v).collect::<Vec<_>>());
         let ocount = s.outliers.len();
         gpu.launch("cusz_scatter", LaunchConfig::cover(n, 1024), |ctx| {
             let c = codes.slice();
@@ -421,19 +430,23 @@ impl Compressor for CuszLike {
         // dense code expansion above (the reference uses a separate
         // sparse-scatter kernel too).
         if ocount > 0 {
-            gpu.launch("cusz_outlier_scatter", LaunchConfig::cover(ocount, 4096), |ctx| {
-                let d = delta.slice();
-                let oi = outlier_idx.slice();
-                let ov = outlier_val.slice();
-                let start = ctx.block * 4096;
-                let end = (start + 4096).min(ocount);
-                for k in start..end {
-                    d.set(oi.get(k) as usize, ov.get(k));
-                }
-                ctx.read(STEP_COMPACT, ((end - start) * 12) as u64);
-                ctx.write_strided(STEP_COMPACT, ((end - start) * 8) as u64);
-                ctx.ops(STEP_COMPACT, (end - start) as u64);
-            });
+            gpu.launch(
+                "cusz_outlier_scatter",
+                LaunchConfig::cover(ocount, 4096),
+                |ctx| {
+                    let d = delta.slice();
+                    let oi = outlier_idx.slice();
+                    let ov = outlier_val.slice();
+                    let start = ctx.block * 4096;
+                    let end = (start + 4096).min(ocount);
+                    for k in start..end {
+                        d.set(oi.get(k) as usize, ov.get(k));
+                    }
+                    ctx.read(STEP_COMPACT, ((end - start) * 12) as u64);
+                    ctx.write_strided(STEP_COMPACT, ((end - start) * 8) as u64);
+                    ctx.ops(STEP_COMPACT, (end - start) as u64);
+                },
+            );
         }
 
         // Per-axis inverse prediction (cumulative sums), one kernel each.
@@ -526,7 +539,8 @@ mod tests {
         let (recon, _, _) = run(&data, &[3000], eb);
         for (i, (&d, &r)) in data.iter().zip(&recon).enumerate() {
             assert!(
-                (d as f64 - r as f64).abs() <= eb * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7,
+                (d as f64 - r as f64).abs()
+                    <= eb * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7,
                 "idx {i}: {d} vs {r}"
             );
         }
@@ -539,7 +553,10 @@ mod tests {
             .collect();
         let (recon, _, _) = run(&data2, &[64, 48], 0.004);
         for (&d, &r) in data2.iter().zip(&recon) {
-            assert!((d as f64 - r as f64).abs() <= 0.004 * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7);
+            assert!(
+                (d as f64 - r as f64).abs()
+                    <= 0.004 * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7
+            );
         }
 
         let data3: Vec<f32> = (0..16 * 16 * 16)
@@ -547,7 +564,10 @@ mod tests {
             .collect();
         let (recon, _, _) = run(&data3, &[16, 16, 16], 0.01);
         for (&d, &r) in data3.iter().zip(&recon) {
-            assert!((d as f64 - r as f64).abs() <= 0.01 * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7);
+            assert!(
+                (d as f64 - r as f64).abs()
+                    <= 0.01 * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7
+            );
         }
     }
 
@@ -562,7 +582,10 @@ mod tests {
         let eb = 0.1;
         let (recon, _, _) = run(&data, &[2000], eb);
         for (&d, &r) in data.iter().zip(&recon) {
-            assert!((d as f64 - r as f64).abs() <= eb * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7);
+            assert!(
+                (d as f64 - r as f64).abs()
+                    <= eb * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7
+            );
         }
     }
 

@@ -192,7 +192,11 @@ impl Compressor for CuszxLike {
                 let start = b * BLOCK;
                 let end = (start + BLOCK).min(n);
                 for (k, v) in block.iter_mut().enumerate() {
-                    *v = if start + k < end { inp.get(start + k) } else { 0.0 };
+                    *v = if start + k < end {
+                        inp.get(start + k)
+                    } else {
+                        0.0
+                    };
                 }
                 // Tail blocks re-use value 0 padding; midpoint math still
                 // bounds the real elements.
@@ -215,10 +219,7 @@ impl Compressor for CuszxLike {
         // pageable memory, the host prefix-sums the sizes and concatenates,
         // and the final stream is copied back H2D.
         let desc_host = gpu.d2h(&descriptors);
-        let payload_len: usize = desc_host
-            .iter()
-            .map(|&d| CuszxStream::block_bytes(d))
-            .sum();
+        let payload_len: usize = desc_host.iter().map(|&d| CuszxStream::block_bytes(d)).sum();
         // Charge the pageable D2H of the used block bytes (the scratch is
         // block-strided on device; the reference copies exactly the used
         // prefix of each block slot).
@@ -306,8 +307,8 @@ impl Compressor for CuszxLike {
                 decode_block(d, &bytes_buf[..nbytes], eb, &mut block);
                 let start = b * BLOCK;
                 let end = (start + BLOCK).min(n);
-                for k in 0..end - start {
-                    out.set(start + k, block[k]);
+                for (k, &v) in block.iter().take(end - start).enumerate() {
+                    out.set(start + k, v);
                 }
                 moved += nbytes as u64;
                 elems += end - start;
@@ -348,7 +349,8 @@ mod tests {
         let (recon, _, _) = run(&data, eb);
         for (i, (&d, &r)) in data.iter().zip(&recon).enumerate() {
             assert!(
-                (d as f64 - r as f64).abs() <= eb * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7,
+                (d as f64 - r as f64).abs()
+                    <= eb * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7,
                 "idx {i}: {d} vs {r}"
             );
         }
@@ -381,7 +383,10 @@ mod tests {
         let (recon, bytes, _) = run(&data, eb);
         assert!(bytes > 2048, "rough data can't be all-constant: {bytes}");
         for (&d, &r) in data.iter().zip(&recon) {
-            assert!((d as f64 - r as f64).abs() <= eb * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7);
+            assert!(
+                (d as f64 - r as f64).abs()
+                    <= eb * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7
+            );
         }
     }
 
@@ -400,7 +405,11 @@ mod tests {
         assert!(gpu.timeline().cpu_time() > 0.0, "needs CPU work");
         // The host round-trip must dominate end-to-end time (Fig 13/14).
         let b = gpu.breakdown();
-        assert!(b.gpu_fraction() < 0.5, "GPU fraction {:.2}", b.gpu_fraction());
+        assert!(
+            b.gpu_fraction() < 0.5,
+            "GPU fraction {:.2}",
+            b.gpu_fraction()
+        );
         let _ = stream;
     }
 
@@ -410,7 +419,10 @@ mod tests {
         let (recon, _, _) = run(&data, 0.5);
         assert_eq!(recon.len(), 130);
         for (&d, &r) in data.iter().zip(&recon) {
-            assert!((d as f64 - r as f64).abs() <= 0.5 * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7);
+            assert!(
+                (d as f64 - r as f64).abs()
+                    <= 0.5 * (1.0 + 1e-6) + (d.abs().max(r.abs()) as f64) * 1.3e-7
+            );
         }
     }
 

@@ -82,7 +82,7 @@ impl CuzfpLike {
 pub fn collapse_shape(shape: &[usize]) -> Vec<usize> {
     match shape.len() {
         0 => vec![1],
-        1 | 2 | 3 => shape.to_vec(),
+        1..=3 => shape.to_vec(),
         _ => {
             let lead: usize = shape[..shape.len() - 2].iter().product();
             vec![lead, shape[shape.len() - 2], shape[shape.len() - 1]]
@@ -372,12 +372,7 @@ impl BitReader<'_> {
 }
 
 /// Gather a 4^d block at block-coordinates `bc`, clamping at edges.
-fn gather(
-    inp: &gpu_sim::GpuSlice<'_, f32>,
-    shape: &[usize],
-    bc: &[usize],
-    vals: &mut [f32],
-) {
+fn gather(inp: &gpu_sim::GpuSlice<'_, f32>, shape: &[usize], bc: &[usize], vals: &mut [f32]) {
     let d = shape.len();
     let mut strides = vec![1usize; d];
     for i in (0..d.saturating_sub(1)).rev() {
@@ -399,12 +394,7 @@ fn gather(
 }
 
 /// Scatter a decoded block back (skipping padded coordinates).
-fn scatter(
-    out: &gpu_sim::GpuSlice<'_, f32>,
-    shape: &[usize],
-    bc: &[usize],
-    vals: &[f32],
-) -> usize {
+fn scatter(out: &gpu_sim::GpuSlice<'_, f32>, shape: &[usize], bc: &[usize], vals: &[f32]) -> usize {
     let d = shape.len();
     let mut strides = vec![1usize; d];
     for i in (0..d.saturating_sub(1)).rev() {
@@ -604,7 +594,10 @@ mod tests {
             .zip(&recon)
             .map(|(&d, &r)| (d - r).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_err < 0.01, "rate-24 should be near-lossless, err {max_err}");
+        assert!(
+            max_err < 0.01,
+            "rate-24 should be near-lossless, err {max_err}"
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let data: Vec<f32> = (0..32_768).map(|i| (i as f32 * 0.01).sin() * 100.0).collect();
+    let data: Vec<f32> = (0..32_768)
+        .map(|i| (i as f32 * 0.01).sin() * 100.0)
+        .collect();
     let eb = 0.01;
 
     let mut group = c.benchmark_group("components");

@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut gpu = Gpu::new(DeviceSpec::a100());
             let input = gpu.h2d(&field.data);
-            black_box(codec.compress_device(&mut gpu, black_box(&input), eb).payload_len)
+            black_box(
+                codec
+                    .compress_device(&mut gpu, black_box(&input), eb)
+                    .payload_len,
+            )
         })
     });
     group.bench_function("decompress_kernel", |b| {

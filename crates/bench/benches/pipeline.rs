@@ -1,0 +1,65 @@
+//! Pipeline workload: single-stream vs batched multi-stream compression
+//! of a batch of NYX-like fields.
+//!
+//! The single-stream baseline compresses the batch one chunk at a time on
+//! the calling thread; the pipelined runs push the same chunks through
+//! `cuszp-pipeline` worker pools. On a multi-core host the pipelined rows
+//! should approach `min(workers, cores)`× the baseline; on a single core
+//! they measure the pipeline's queueing overhead instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuszp_core::{Cuszp, ErrorBound};
+use cuszp_pipeline::{Pipeline, PipelineConfig};
+use datasets::{generate_subset, DatasetId, Scale};
+use std::hint::black_box;
+
+const CHUNK_ELEMS: usize = 1 << 14;
+
+fn batch() -> Vec<(String, Vec<f32>)> {
+    generate_subset(DatasetId::Nyx, Scale::Tiny, 4)
+        .into_iter()
+        .map(|f| (f.name.clone(), f.data))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let fields = batch();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("single_stream", |b| {
+        b.iter(|| {
+            let codec = Cuszp::new();
+            let out: u64 = fields
+                .iter()
+                .map(|(_, data)| {
+                    codec
+                        .compress_chunked(black_box(data), ErrorBound::Rel(1e-2), CHUNK_ELEMS)
+                        .stream_bytes()
+                })
+                .sum();
+            black_box(out)
+        })
+    });
+
+    for workers in [2usize, 4, 8] {
+        group.bench_function(format!("pipelined/{workers}_workers"), |b| {
+            b.iter(|| {
+                let mut pipe = Pipeline::new(PipelineConfig {
+                    chunk_elems: CHUNK_ELEMS,
+                    ..PipelineConfig::with_workers(workers)
+                });
+                for (name, data) in &fields {
+                    pipe.submit(name, data.clone(), ErrorBound::Rel(1e-2));
+                }
+                black_box(pipe.finish().stats.bytes_out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Table 3 workload: the error-bounded compressors across the four REL
 //! bounds (what the compression-ratio table sweeps).
 
-use bench::{bench_field, compress_once, eb_for};
 use baselines::common::CuszpAdapter;
 use baselines::{Compressor, CuszLike, CuszxLike};
+use bench::{bench_field, compress_once, eb_for};
 use criterion::{criterion_group, criterion_main, Criterion};
 use datasets::DatasetId;
 use std::hint::black_box;

@@ -38,7 +38,8 @@ pub fn eb_for(field: &Field, rel: f64) -> f64 {
 pub fn compress_once(comp: &dyn Compressor, field: &Field, eb: f64) -> u64 {
     let mut gpu = Gpu::new(DeviceSpec::a100());
     let input = gpu.h2d(&field.data);
-    comp.compress(&mut gpu, &input, &field.shape, eb).stream_bytes()
+    comp.compress(&mut gpu, &input, &field.shape, eb)
+        .stream_bytes()
 }
 
 /// Run compression + decompression; returns a reconstruction checksum.

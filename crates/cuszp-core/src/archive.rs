@@ -165,8 +165,20 @@ mod tests {
         let mut ar = Archive::new();
         let a: Vec<f32> = (0..240).map(|i| (i as f32 * 0.1).sin()).collect();
         let b: Vec<f64> = (0..60).map(|i| i as f64 * 7.5).collect();
-        ar.push("alpha", vec![8, 30], &a, ErrorBound::Rel(1e-3), CuszpConfig::default());
-        ar.push("beta", vec![60], &b, ErrorBound::Abs(0.01), CuszpConfig::default());
+        ar.push(
+            "alpha",
+            vec![8, 30],
+            &a,
+            ErrorBound::Rel(1e-3),
+            CuszpConfig::default(),
+        );
+        ar.push(
+            "beta",
+            vec![60],
+            &b,
+            ErrorBound::Abs(0.01),
+            CuszpConfig::default(),
+        );
         ar
     }
 

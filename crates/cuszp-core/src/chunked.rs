@@ -1,0 +1,236 @@
+//! Chunked container format: many independent cuSZp streams in one frame.
+//!
+//! The single-stream layout ([`crate::format`]) compresses one array with
+//! one header. Batch workloads — many fields, or one huge field split for
+//! pipelined compression — need a container that holds *several* streams
+//! while keeping each chunk independently decodable. The layout is a
+//! framed header plus a per-chunk length table:
+//!
+//! ```text
+//! magic "CUSZPCH1"            8 bytes
+//! num_chunks                  u32 LE
+//! frame_len[num_chunks]       u64 LE each
+//! frame[0] .. frame[n-1]      each exactly Compressed::to_bytes()
+//! ```
+//!
+//! Chunk byte offsets are not stored — they are the prefix sum of the
+//! length table, mirroring how the per-block offsets of the inner format
+//! are recomputed from fixed lengths (Eq 2) rather than serialized.
+//!
+//! Every chunk is byte-identical to what the single-shot path would
+//! produce for that slice at the same absolute bound, so a one-chunk
+//! container is the existing format plus a 20-byte frame. Chunks may
+//! differ in dtype, block length, and bound — a container can hold a
+//! whole batch of unrelated fields.
+
+use crate::format::{Compressed, FormatError, HEADER_BYTES};
+
+/// Magic bytes of the chunked container serialization.
+pub const CHUNK_MAGIC: [u8; 8] = *b"CUSZPCH1";
+/// Fixed container header size (magic + chunk count), before the length
+/// table.
+pub const CONTAINER_HEADER_BYTES: usize = 8 + 4;
+/// Hard cap on the serialized chunk count — rejects absurd headers before
+/// allocating a length table for them.
+pub const MAX_CHUNKS: u32 = 1 << 24;
+
+/// A sequence of independent compressed streams with a shared frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChunkedCompressed {
+    /// The chunks, in order. Decompression concatenates them.
+    pub chunks: Vec<Compressed>,
+}
+
+impl ChunkedCompressed {
+    /// Empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Container holding exactly one stream.
+    pub fn single(c: Compressed) -> Self {
+        ChunkedCompressed { chunks: vec![c] }
+    }
+
+    /// Append a chunk.
+    pub fn push(&mut self, c: Compressed) {
+        self.chunks.push(c);
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total element count across all chunks.
+    pub fn total_elements(&self) -> u64 {
+        self.chunks.iter().map(|c| c.num_elements).sum()
+    }
+
+    /// The paper's compressed size summed over chunks (fixed-length bytes
+    /// + payload; what compression ratios are computed from).
+    pub fn stream_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.stream_bytes()).sum()
+    }
+
+    /// Full serialized size: container header + length table + frames.
+    pub fn container_bytes(&self) -> u64 {
+        CONTAINER_HEADER_BYTES as u64
+            + self.chunks.len() as u64 * 8
+            + self.chunks.iter().map(|c| c.total_bytes()).sum::<u64>()
+    }
+
+    /// Serialize to a standalone byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.container_bytes() as usize);
+        out.extend_from_slice(&CHUNK_MAGIC);
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(&c.total_bytes().to_le_bytes());
+        }
+        for c in &self.chunks {
+            out.extend_from_slice(&c.to_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a container produced by [`ChunkedCompressed::to_bytes`].
+    ///
+    /// Malformed input — wrong magic, truncation anywhere, a length table
+    /// whose sum disagrees with the buffer, or a corrupt inner frame —
+    /// returns an error; it never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ChunkedCompressed, FormatError> {
+        if bytes.len() < CONTAINER_HEADER_BYTES {
+            return Err(FormatError::Truncated);
+        }
+        if bytes[..8] != CHUNK_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let n = u32::from_le_bytes(bytes[8..12].try_into().expect("len checked"));
+        if n > MAX_CHUNKS {
+            return Err(FormatError::Corrupt("chunk count exceeds MAX_CHUNKS"));
+        }
+        let n = n as usize;
+        let table_end = CONTAINER_HEADER_BYTES + n * 8;
+        if bytes.len() < table_end {
+            return Err(FormatError::Truncated);
+        }
+        let mut lens = Vec::with_capacity(n);
+        for i in 0..n {
+            let at = CONTAINER_HEADER_BYTES + i * 8;
+            let len = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("len checked"));
+            if len < HEADER_BYTES as u64 {
+                return Err(FormatError::Corrupt("chunk frame shorter than a header"));
+            }
+            lens.push(len);
+        }
+        let mut chunks = Vec::with_capacity(n);
+        let mut at = table_end as u64;
+        for len in lens {
+            let end = at
+                .checked_add(len)
+                .ok_or(FormatError::Corrupt("chunk offset overflow"))?;
+            if end > bytes.len() as u64 {
+                return Err(FormatError::Truncated);
+            }
+            chunks.push(Compressed::from_bytes(&bytes[at as usize..end as usize])?);
+            at = end;
+        }
+        if at != bytes.len() as u64 {
+            return Err(FormatError::Corrupt("trailing bytes after last chunk"));
+        }
+        Ok(ChunkedCompressed { chunks })
+    }
+
+    /// Structural sanity check of every chunk (payload accounting, Eq 2).
+    pub fn validate(&self) -> Result<(), FormatError> {
+        for c in &self.chunks {
+            c.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CuszpConfig;
+    use crate::host_ref;
+
+    fn chunk(n: usize, seed: f32) -> Compressed {
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01 + seed).sin()).collect();
+        host_ref::compress(&data, 1e-3, CuszpConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_multi() {
+        let c = ChunkedCompressed {
+            chunks: vec![chunk(100, 0.0), chunk(33, 1.0), chunk(1, 2.0)],
+        };
+        let bytes = c.to_bytes();
+        assert_eq!(bytes.len() as u64, c.container_bytes());
+        assert_eq!(ChunkedCompressed::from_bytes(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = ChunkedCompressed::new();
+        let back = ChunkedCompressed::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back.num_chunks(), 0);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn single_chunk_is_inner_format_plus_frame() {
+        let inner = chunk(64, 0.5);
+        let container = ChunkedCompressed::single(inner.clone());
+        let bytes = container.to_bytes();
+        // Frame = magic + count + one length entry, then the inner stream
+        // verbatim.
+        assert_eq!(&bytes[CONTAINER_HEADER_BYTES + 8..], &inner.to_bytes()[..]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = ChunkedCompressed::single(chunk(8, 0.0)).to_bytes();
+        bytes[0] = b'Z';
+        assert_eq!(
+            ChunkedCompressed::from_bytes(&bytes),
+            Err(FormatError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = ChunkedCompressed {
+            chunks: vec![chunk(40, 0.0), chunk(40, 1.0)],
+        }
+        .to_bytes();
+        for cut in [3, CONTAINER_HEADER_BYTES + 3, bytes.len() - 1] {
+            assert!(
+                ChunkedCompressed::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = ChunkedCompressed::single(chunk(8, 0.0)).to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            ChunkedCompressed::from_bytes(&bytes),
+            Err(FormatError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_chunk_count_rejected() {
+        let mut bytes = CHUNK_MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            ChunkedCompressed::from_bytes(&bytes),
+            Err(FormatError::Corrupt(_))
+        ));
+    }
+}

@@ -81,7 +81,7 @@ impl CuszpConfig {
     /// Panics on an unusable configuration.
     pub fn validate(&self) {
         assert!(
-            self.block_len >= 8 && self.block_len % 8 == 0,
+            self.block_len >= 8 && self.block_len.is_multiple_of(8),
             "block_len must be a positive multiple of 8, got {}",
             self.block_len
         );

@@ -86,7 +86,8 @@ impl Compressed {
 
     /// Serialize to a standalone byte stream.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_BYTES + self.fixed_lengths.len() + self.payload.len());
+        let mut out =
+            Vec::with_capacity(HEADER_BYTES + self.fixed_lengths.len() + self.payload.len());
         out.extend_from_slice(&MAGIC);
         out.push(self.lorenzo as u8);
         out.push(self.dtype.to_byte());
@@ -217,7 +218,10 @@ mod tests {
             Compressed::from_bytes(&bytes[..bytes.len() - 1]),
             Err(FormatError::Truncated)
         );
-        assert_eq!(Compressed::from_bytes(&bytes[..4]), Err(FormatError::Truncated));
+        assert_eq!(
+            Compressed::from_bytes(&bytes[..4]),
+            Err(FormatError::Truncated)
+        );
     }
 
     #[test]

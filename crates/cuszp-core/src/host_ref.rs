@@ -15,7 +15,10 @@ use crate::quantize::{quantize_block, reconstruct_block};
 /// Compress `data` (`f32` or `f64`) under an **absolute** error bound `eb`.
 pub fn compress<T: FloatData>(data: &[T], eb: f64, cfg: CuszpConfig) -> Compressed {
     cfg.validate();
-    assert!(eb.is_finite() && eb > 0.0, "absolute bound must be positive");
+    assert!(
+        eb.is_finite() && eb > 0.0,
+        "absolute bound must be positive"
+    );
     let l = cfg.block_len;
     let num_blocks = data.len().div_ceil(l);
 
@@ -32,7 +35,12 @@ pub fn compress<T: FloatData>(data: &[T], eb: f64, cfg: CuszpConfig) -> Compress
         for r in resid.iter_mut() {
             *r = 0;
         }
-        quantize_block(&data[start..end], eb, cfg.lorenzo, &mut resid[..end - start]);
+        quantize_block(
+            &data[start..end],
+            eb,
+            cfg.lorenzo,
+            &mut resid[..end - start],
+        );
 
         let plan = plan_block(&resid, l);
         *fl = plan.fixed_len;
@@ -189,7 +197,10 @@ mod tests {
             .collect();
         let c = check_roundtrip(&data, 0.5, CuszpConfig::default());
         let ratio = (data.len() * 4) as f64 / c.stream_bytes() as f64;
-        assert!(ratio < 4.0, "random data should not compress well: {ratio:.2}");
+        assert!(
+            ratio < 4.0,
+            "random data should not compress well: {ratio:.2}"
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ pub fn compress_kernel<T: FloatData>(
     cfg: CuszpConfig,
 ) -> DeviceCompressed {
     cfg.validate();
-    assert!(eb.is_finite() && eb > 0.0, "absolute bound must be positive");
+    assert!(
+        eb.is_finite() && eb > 0.0,
+        "absolute bound must be positive"
+    );
     let n = input.len();
     let l = cfg.block_len;
     let num_blocks = n.div_ceil(l);
@@ -251,6 +254,7 @@ pub fn compress_kernel<T: FloatData>(
 ///
 /// # Panics
 /// Panics if `T` does not match the stream's element type.
+#[allow(clippy::needless_range_loop)] // k is the in-block lane index, as in the CUDA kernel
 pub fn decompress_kernel<T: FloatData>(gpu: &mut Gpu, c: &DeviceCompressed) -> DeviceBuffer<T> {
     assert_eq!(c.dtype, T::DTYPE, "stream element type mismatch");
     let n = c.num_elements;
@@ -374,7 +378,9 @@ mod tests {
     }
 
     fn wave(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.02).sin() * 40.0 + (i as f32 * 0.11).cos() * 3.0).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.02).sin() * 40.0 + (i as f32 * 0.11).cos() * 3.0)
+            .collect()
     }
 
     #[test]
@@ -416,11 +422,23 @@ mod tests {
         let input = gpu.h2d(&data);
         gpu.reset_timeline();
         let dc = compress_kernel(&mut gpu, &input, 0.01, CuszpConfig::default());
-        assert_eq!(gpu.timeline().kernel_count(), 1, "compression must be one kernel");
-        assert_eq!(gpu.timeline().memcpy_time(), 0.0, "no transfers inside compression");
+        assert_eq!(
+            gpu.timeline().kernel_count(),
+            1,
+            "compression must be one kernel"
+        );
+        assert_eq!(
+            gpu.timeline().memcpy_time(),
+            0.0,
+            "no transfers inside compression"
+        );
         gpu.reset_timeline();
         let _: DeviceBuffer<f32> = decompress_kernel(&mut gpu, &dc);
-        assert_eq!(gpu.timeline().kernel_count(), 1, "decompression must be one kernel");
+        assert_eq!(
+            gpu.timeline().kernel_count(),
+            1,
+            "decompression must be one kernel"
+        );
         assert_eq!(gpu.timeline().memcpy_time(), 0.0);
     }
 

@@ -37,6 +37,7 @@
 
 pub mod archive;
 pub mod bitshuffle;
+pub mod chunked;
 pub mod config;
 pub mod dtype;
 pub mod encode;
@@ -47,6 +48,7 @@ pub mod quantize;
 pub mod verify;
 
 pub use archive::{Archive, Entry};
+pub use chunked::ChunkedCompressed;
 pub use config::{CuszpConfig, ErrorBound, DEFAULT_BLOCK_LEN};
 pub use dtype::{DType, FloatData};
 pub use format::{Compressed, FormatError};
@@ -125,6 +127,42 @@ impl Cuszp {
     /// Decompress on the host to the stream's element type.
     pub fn decompress<T: FloatData>(&self, c: &Compressed) -> Vec<T> {
         host_ref::decompress(c)
+    }
+
+    /// Compress `data` as a [`ChunkedCompressed`] container of
+    /// `chunk_elems`-element chunks (the last chunk may be shorter).
+    ///
+    /// The bound is resolved **once against the whole array**, so a REL
+    /// bound means the same absolute tolerance as the single-shot path —
+    /// and each chunk's stream is byte-identical to compressing that
+    /// slice alone at the resolved bound. Chunk boundaries that are a
+    /// multiple of the block length keep block alignment identical too.
+    pub fn compress_chunked<T: FloatData>(
+        &self,
+        data: &[T],
+        bound: ErrorBound,
+        chunk_elems: usize,
+    ) -> ChunkedCompressed {
+        assert!(chunk_elems > 0, "chunk_elems must be positive");
+        if data.is_empty() {
+            return ChunkedCompressed::new();
+        }
+        let eb = self.resolve_bound(data, bound);
+        ChunkedCompressed {
+            chunks: data
+                .chunks(chunk_elems)
+                .map(|c| host_ref::compress(c, eb, self.config))
+                .collect(),
+        }
+    }
+
+    /// Decompress a chunked container, concatenating the chunks in order.
+    pub fn decompress_chunked<T: FloatData>(&self, c: &ChunkedCompressed) -> Vec<T> {
+        let mut out = Vec::with_capacity(c.total_elements() as usize);
+        for chunk in &c.chunks {
+            out.extend(host_ref::decompress::<T>(chunk));
+        }
+        out
     }
 
     /// Compress on the device in a single fused kernel. `eb` is absolute.

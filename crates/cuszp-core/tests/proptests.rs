@@ -16,17 +16,14 @@ fn data_strategy() -> impl Strategy<Value = Vec<f32>> {
 }
 
 fn eb_strategy() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        Just(1e-3),
-        Just(1e-1),
-        Just(1.0),
-        Just(100.0),
-        1e-4f64..1e3,
-    ]
+    prop_oneof![Just(1e-3), Just(1e-1), Just(1.0), Just(100.0), 1e-4f64..1e3,]
 }
 
 fn config_strategy() -> impl Strategy<Value = CuszpConfig> {
-    (prop_oneof![Just(8usize), Just(16), Just(32), Just(64)], any::<bool>())
+    (
+        prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
+        any::<bool>(),
+    )
         .prop_map(|(block_len, lorenzo)| CuszpConfig { block_len, lorenzo })
 }
 

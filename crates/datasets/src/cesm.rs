@@ -60,7 +60,7 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
             slope: 4.5,
             k_max: k_for(&[nlat], 30.0),
             noise: 0.0,
-                anisotropy: [4.0, 1.0, 1.0, 1.0],
+            anisotropy: [4.0, 1.0, 1.0, 1.0],
         },
         seed ^ 0x51,
     );
@@ -72,17 +72,17 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
             slope: 3.1,
             k_max: k_for(&[nlat, nlon], 30.0),
             noise: 3.0e-4,
-                anisotropy: [4.0, 1.0, 1.0, 1.0],
+            anisotropy: [4.0, 1.0, 1.0, 1.0],
         },
         seed ^ 0x52,
     );
 
     let w = zonal_weight(name);
     let mut data = vec![0.0f32; nlat * nlon];
-    for lat in 0..nlat {
+    for (lat, &z) in zonal.iter().enumerate() {
         for lon in 0..nlon {
             let idx = lat * nlon + lon;
-            data[idx] = (w * zonal[lat] as f64 + (1.0 - w) * eddy[idx] as f64) as f32;
+            data[idx] = (w * z as f64 + (1.0 - w) * eddy[idx] as f64) as f32;
         }
     }
 
@@ -95,7 +95,7 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
             slope: 3.4,
             k_max: k_for(&[nlat, nlon], 130.0),
             noise: 0.0,
-                anisotropy: [4.0, 1.0, 1.0, 1.0],
+            anisotropy: [4.0, 1.0, 1.0, 1.0],
         },
         seed_from(&["cesm", "geography"]),
     );
@@ -188,8 +188,12 @@ mod tests {
             .sum::<f64>()
             / 32.0;
         let all_m = f.data.iter().map(|&v| v as f64).sum::<f64>() / f.len() as f64;
-        let all_var =
-            f.data.iter().map(|&v| (v as f64 - all_m).powi(2)).sum::<f64>() / f.len() as f64;
+        let all_var = f
+            .data
+            .iter()
+            .map(|&v| (v as f64 - all_m).powi(2))
+            .sum::<f64>()
+            / f.len() as f64;
         assert!(row_var < all_var * 0.6, "row {row_var} vs all {all_var}");
     }
 

@@ -95,12 +95,7 @@ impl Field {
                 (ny, nx, plane.to_vec())
             }
             4 => {
-                let (nw, nz, ny, nx) = (
-                    self.shape[0],
-                    self.shape[1],
-                    self.shape[2],
-                    self.shape[3],
-                );
+                let (nw, nz, ny, nx) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
                 let per_w = nz * ny * nx;
                 let w = index.min(nw - 1);
                 let plane = &self.data[w * per_w..w * per_w + ny * nx];
@@ -111,11 +106,7 @@ impl Field {
                 let side = (self.data.len() as f64).sqrt() as usize;
                 let side = side.max(1);
                 let rows = self.data.len() / side;
-                (
-                    rows,
-                    side,
-                    self.data[..rows * side].to_vec(),
-                )
+                (rows, side, self.data[..rows * side].to_vec())
             }
         }
     }

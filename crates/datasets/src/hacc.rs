@@ -81,8 +81,7 @@ pub fn field(name: &str, n: usize) -> Field {
                 let step: f32 = rng.gen_range(-25.0..25.0f32);
                 flow = flow * 0.998 + step;
                 // Thermal jitter, sigma ~57.
-                let jitter: f32 =
-                    (0..6).map(|_| rng.gen_range(-0.5..0.5f32)).sum::<f32>() * 80.0;
+                let jitter: f32 = (0..6).map(|_| rng.gen_range(-0.5..0.5f32)).sum::<f32>() * 80.0;
                 if remaining_in_burst == 0 && rng.gen_bool(0.0005) {
                     remaining_in_burst = rng.gen_range(24..80);
                     burst_boost = rng.gen_range(2.6..3.2);
@@ -139,7 +138,12 @@ mod tests {
         let mut mags: Vec<f32> = f.data.iter().map(|v| v.abs()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p95 = mags[(0.95 * mags.len() as f64) as usize];
-        assert!(p95 * 3.0 < hi.max(-lo), "p95 {} vs max {}", p95, hi.max(-lo));
+        assert!(
+            p95 * 3.0 < hi.max(-lo),
+            "p95 {} vs max {}",
+            p95,
+            hi.max(-lo)
+        );
     }
 
     #[test]

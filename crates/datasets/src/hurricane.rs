@@ -186,11 +186,7 @@ mod tests {
         assert!(f.data.iter().any(|&v| v > 0.0));
         // Heavy tails: most samples well inside the range.
         let range = f.value_range();
-        let small = f
-            .data
-            .iter()
-            .filter(|v| v.abs() < 0.1 * range)
-            .count();
+        let small = f.data.iter().filter(|v| v.abs() < 0.1 * range).count();
         assert!(
             small > f.len() / 2,
             "wind values should concentrate near ambient: {}/{}",

@@ -93,7 +93,7 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
                     slope: 3.2,
                     k_max: k_for(shape, 40.0),
                     noise: 0.0,
-                anisotropy: [1.8, 1.8, 1.0, 1.0],
+                    anisotropy: [1.8, 1.8, 1.0, 1.0],
                 },
                 seed ^ 0x7777,
             );
@@ -157,7 +157,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_field() {
-        assert_eq!(field("temperature", &[8, 8, 8]), field("temperature", &[8, 8, 8]));
+        assert_eq!(
+            field("temperature", &[8, 8, 8]),
+            field("temperature", &[8, 8, 8])
+        );
         assert_ne!(
             field("velocity_x", &[8, 8, 8]).data,
             field("velocity_y", &[8, 8, 8]).data

@@ -8,7 +8,7 @@
 //! real information at small amplitude.
 
 use crate::field::Field;
-use crate::spectral::{gaussian_random_field, rescale, seed_from, GrfSpec};
+use crate::spectral::{gaussian_random_field, rescale_signed, seed_from, GrfSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,7 +33,7 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
             slope: 2.6,
             k_max: crate::spectral::k_for(&[nz, ny, nx], 14.0),
             noise: 0.0,
-                anisotropy: [1.5, 1.2, 1.0, 1.0],
+            anisotropy: [1.5, 1.2, 1.0, 1.0],
         },
         seed ^ 0x9e37_79b9,
     );
@@ -48,7 +48,7 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
             slope: 2.4,
             k_max: crate::spectral::k_for(&[nz, ny, nx], 6.0),
             noise: 0.0,
-                anisotropy: [1.5, 1.2, 1.0, 1.0],
+            anisotropy: [1.5, 1.2, 1.0, 1.0],
         },
         seed ^ 0x51f0_aa11,
     );
@@ -85,8 +85,7 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
         // the per-sample smoothness (what the compressors see) is the same
         // at every generation scale.
         let width: f64 = rng.gen_range(0.12..0.25);
-        let osc_k: f64 =
-            rng.gen_range(0.6..1.1) * crate::spectral::k_for(&[nz, ny, nx], 16.0);
+        let osc_k: f64 = rng.gen_range(0.6..1.1) * crate::spectral::k_for(&[nz, ny, nx], 16.0);
         let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
         let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
         let amp = amps[orb];
@@ -95,12 +94,15 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    let p = [z as f64 / nz as f64, y as f64 / ny as f64, x as f64 / nx as f64];
+                    let p = [
+                        z as f64 / nz as f64,
+                        y as f64 / ny as f64,
+                        x as f64 / nx as f64,
+                    ];
                     let mut env = 0.0f64;
                     for c in &centers {
-                        let r2 = (p[0] - c[0]).powi(2)
-                            + (p[1] - c[1]).powi(2)
-                            + (p[2] - c[2]).powi(2);
+                        let r2 =
+                            (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2);
                         env += (-r2 / (2.0 * width * width)).exp();
                     }
                     let radial = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
@@ -109,13 +111,14 @@ pub fn field(name: &str, shape: &[usize]) -> Field {
                     // The background is a *global* property of the stored
                     // wavefunction data, independent of orbital amplitude.
                     out[idx] = (amp * sign * env * (0.7 * osc + 0.3 * texture[idx] as f64)
-                        + bg_scale * background[idx] as f64)
-                        as f32;
+                        + bg_scale * background[idx] as f64) as f32;
                 }
             }
         }
     }
-    rescale(&mut data, -2.92, 3.38);
+    // Zero-preserving: wavefunction bulk sits at zero and must stay there —
+    // an affine rescale shifts it whenever the raw extremes are asymmetric.
+    rescale_signed(&mut data, -2.92, 3.38);
     Field::new(name, shape.to_vec(), data)
 }
 
@@ -146,11 +149,7 @@ mod tests {
         // 6-orbital grids are dominated by the background.
         let f = field(FIELDS[0], &[12, 20, 20, 20]);
         let range = f.value_range();
-        let small = f
-            .data
-            .iter()
-            .filter(|&&v| v.abs() < 0.1 * range)
-            .count();
+        let small = f.data.iter().filter(|&&v| v.abs() < 0.1 * range).count();
         assert!(
             small > f.len() / 2,
             "orbitals should be near-zero over much of the box: {}/{}",

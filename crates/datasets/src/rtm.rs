@@ -29,7 +29,7 @@ pub fn snapshot(t: usize, shape: &[usize]) -> Field {
     let mut data = vec![0.0f32; nz * ny * nx];
 
     let progress = t as f64 / TOTAL_TIMESTEPS as f64; // 0..1
-    // Primary front radius sweeps past the far corner by t ≈ 60% of the run.
+                                                      // Primary front radius sweeps past the far corner by t ≈ 60% of the run.
     let front_r = progress * 1.8;
     // Source amplitude decays with propagation (value range shrinks with t,
     // per the paper's explanation of Fig 22).
@@ -59,8 +59,7 @@ pub fn snapshot(t: usize, shape: &[usize]) -> Field {
         [0.65, 0.2, 0.2],
     ];
     for d in diffractors {
-        let dist_from_src =
-            ((d[0]).powi(2) + (d[1] - 0.5).powi(2) + (d[2] - 0.5).powi(2)).sqrt();
+        let dist_from_src = ((d[0]).powi(2) + (d[1] - 0.5).powi(2) + (d[2] - 0.5).powi(2)).sqrt();
         if front_r > dist_from_src {
             sources.push((d, front_r - dist_from_src, amp0 * 0.35));
         }
@@ -75,8 +74,8 @@ pub fn snapshot(t: usize, shape: &[usize]) -> Field {
                 let px = x as f64 / nx as f64;
                 let mut acc = 0.0f64;
                 for (c, r, a) in &sources {
-                    let dist = ((pz - c[0]).powi(2) + (py - c[1]).powi(2) + (px - c[2]).powi(2))
-                        .sqrt();
+                    let dist =
+                        ((pz - c[0]).powi(2) + (py - c[1]).powi(2) + (px - c[2]).powi(2)).sqrt();
                     let tau = dist - r;
                     if tau.abs() < band {
                         // Geometric spreading ∝ 1/r.

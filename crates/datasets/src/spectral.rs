@@ -283,7 +283,9 @@ mod tests {
             1,
         );
         let tv = |d: &[f32]| -> f64 {
-            d.windows(2).map(|w| (w[1] - w[0]).abs() as f64).sum::<f64>()
+            d.windows(2)
+                .map(|w| (w[1] - w[0]).abs() as f64)
+                .sum::<f64>()
         };
         assert!(
             tv(&smooth) < tv(&rough),

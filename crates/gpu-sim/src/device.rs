@@ -134,7 +134,11 @@ mod tests {
 
     #[test]
     fn presets_are_ordered_by_bandwidth() {
-        let (a, v, r) = (DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::rtx3080());
+        let (a, v, r) = (
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::rtx3080(),
+        );
         assert!(a.mem_bandwidth > v.mem_bandwidth);
         assert!(v.mem_bandwidth > r.mem_bandwidth);
         assert!(a.effective_compute > v.effective_compute);
@@ -158,7 +162,11 @@ mod tests {
 
     #[test]
     fn strided_efficiency_in_unit_interval() {
-        for spec in [DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::rtx3080()] {
+        for spec in [
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::rtx3080(),
+        ] {
             assert!(spec.strided_efficiency > 0.0 && spec.strided_efficiency <= 1.0);
         }
     }

@@ -51,10 +51,7 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
     /// Allocate and fill from a host slice (no simulated-time charge; use
     /// [`crate::Gpu::h2d`] to account for the PCIe transfer).
     pub fn from_host(host: &[T]) -> Self {
-        let cells = host
-            .iter()
-            .map(|v| SyncCell(UnsafeCell::new(*v)))
-            .collect();
+        let cells = host.iter().map(|v| SyncCell(UnsafeCell::new(*v))).collect();
         DeviceBuffer { cells }
     }
 
@@ -81,10 +78,7 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
     /// Copy contents back to a host `Vec` (no simulated-time charge; use
     /// [`crate::Gpu::d2h`] to account for the PCIe transfer).
     pub fn to_host(&self) -> Vec<T> {
-        self.cells
-            .iter()
-            .map(|c| unsafe { *c.0.get() })
-            .collect()
+        self.cells.iter().map(|c| unsafe { *c.0.get() }).collect()
     }
 
     /// Overwrite contents from a host slice of identical length.

@@ -124,6 +124,7 @@ impl ScanState {
 ///
 /// Writes the exclusive prefix of `input` into `output` (same length) and
 /// returns the grand total. Traffic is recorded under `step`.
+#[allow(clippy::needless_range_loop)] // k is the thread-local item slot, as in the CUDA kernel
 pub fn exclusive_scan_u32(
     gpu: &mut Gpu,
     input: &DeviceBuffer<u32>,

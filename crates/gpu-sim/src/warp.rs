@@ -12,6 +12,7 @@ pub const WARP: usize = 32;
 
 /// `__shfl_up_sync`: every lane `i ≥ delta` receives lane `i − delta`'s
 /// value; lanes below `delta` receive `fill`.
+#[allow(clippy::manual_memcpy)] // spelled as the per-lane shuffle it models
 pub fn shfl_up<T: Copy>(lanes: &[T; WARP], delta: usize, fill: T) -> [T; WARP] {
     let mut out = [fill; WARP];
     for i in delta..WARP {
@@ -22,6 +23,7 @@ pub fn shfl_up<T: Copy>(lanes: &[T; WARP], delta: usize, fill: T) -> [T; WARP] {
 
 /// `__shfl_down_sync`: every lane `i < WARP − delta` receives lane
 /// `i + delta`'s value; the rest receive `fill`.
+#[allow(clippy::manual_memcpy)] // spelled as the per-lane shuffle it models
 pub fn shfl_down<T: Copy>(lanes: &[T; WARP], delta: usize, fill: T) -> [T; WARP] {
     let mut out = [fill; WARP];
     for i in 0..WARP - delta {
@@ -67,6 +69,7 @@ pub fn inclusive_scan_u64(lanes: [u64; WARP]) -> ([u64; WARP], u64) {
 
 /// Exclusive warp scan of `u64` sums: lane `i` receives the sum of lanes
 /// `[0, i)`. Returns `(scanned, warp total, ops)`.
+#[allow(clippy::manual_memcpy)] // spelled as the per-lane shift it models
 pub fn exclusive_scan_u64(lanes: [u64; WARP]) -> ([u64; WARP], u64, u64) {
     let (incl, ops) = inclusive_scan_u64(lanes);
     let total = incl[WARP - 1];

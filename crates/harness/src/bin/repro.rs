@@ -36,13 +36,10 @@ fn main() {
             }
             "--fields" => {
                 i += 1;
-                ctx.max_fields = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--fields needs a number");
-                        std::process::exit(2);
-                    });
+                ctx.max_fields = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fields needs a number");
+                    std::process::exit(2);
+                });
             }
             other => selected.push(other.to_string()),
         }

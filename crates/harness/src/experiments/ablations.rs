@@ -120,17 +120,18 @@ pub fn run(ctx: &Ctx) {
     let bit_len = huffman::encode(&symbols, &book, &mut bits);
     let used_symbols = lengths.iter().filter(|&&l| l > 0).count();
     let huff_bytes = bit_len as u64 / 8 + used_symbols as u64 * 3 + field.len() as u64 / 2048;
-    let mut rows = Vec::new();
-    rows.push(vec![
-        "fixed-length (cuSZp)".into(),
-        fixed_bytes.to_string(),
-        f2(field.size_bytes() as f64 / fixed_bytes as f64),
-    ]);
-    rows.push(vec![
-        "Huffman (+codebook)".into(),
-        huff_bytes.to_string(),
-        f2(field.size_bytes() as f64 / huff_bytes as f64),
-    ]);
+    let rows = vec![
+        vec![
+            "fixed-length (cuSZp)".into(),
+            fixed_bytes.to_string(),
+            f2(field.size_bytes() as f64 / fixed_bytes as f64),
+        ],
+        vec![
+            "Huffman (+codebook)".into(),
+            huff_bytes.to_string(),
+            f2(field.size_bytes() as f64 / huff_bytes as f64),
+        ],
+    ];
     report.table(&["encoding", "bytes", "ratio"], &rows);
     out.push(Row {
         ablation: "encoding".into(),

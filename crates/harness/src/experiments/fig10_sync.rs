@@ -79,8 +79,7 @@ pub fn run(ctx: &Ctx) {
         // Standalone scan throughput is reported against the *sizes array*
         // it actually scans (one u32 per 32-value block), not the original
         // field bytes.
-        let scan_gbps =
-            (sizes.len() * 4) as f64 / gpu2.timeline().gpu_time() / 1.0e9;
+        let scan_gbps = (sizes.len() * 4) as f64 / gpu2.timeline().gpu_time() / 1.0e9;
 
         rows.push(vec![
             name.to_string(),
@@ -96,7 +95,12 @@ pub fn run(ctx: &Ctx) {
         });
     }
     report.table(
-        &["dataset", "GS-in-kernel GB/s", "scan-array GB/s", "paper GB/s"],
+        &[
+            "dataset",
+            "GS-in-kernel GB/s",
+            "scan-array GB/s",
+            "paper GB/s",
+        ],
         &rows,
     );
     let avg: f64 = rows_out.iter().map(|r| r.gs_gbps).sum::<f64>() / rows_out.len() as f64;

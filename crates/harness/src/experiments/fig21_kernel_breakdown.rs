@@ -61,7 +61,12 @@ pub fn run(ctx: &Ctx) {
                     .map(|s| s.fraction)
                     .unwrap_or(0.0)
             };
-            let shares = [share(STEP_QP), share(STEP_FE), share(STEP_GS), share(STEP_BB)];
+            let shares = [
+                share(STEP_QP),
+                share(STEP_FE),
+                share(STEP_GS),
+                share(STEP_BB),
+            ];
             for (a, s) in avg.iter_mut().zip(shares) {
                 *a += s / 6.0;
             }

@@ -37,7 +37,11 @@ pub fn run(ctx: &Ctx) {
     let eb = ErrorBound::Rel(1e-2).absolute(field.value_range() as f64);
     let comp = CuszpAdapter::new();
 
-    let specs = [DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::rtx3080()];
+    let specs = [
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+        DeviceSpec::rtx3080(),
+    ];
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for (spec, (name, paper)) in specs.into_iter().zip(PAPER) {

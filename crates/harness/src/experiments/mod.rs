@@ -15,6 +15,7 @@ pub mod fig20_isosurface;
 pub mod fig21_kernel_breakdown;
 pub mod fig22_time_varying;
 pub mod gpus;
+pub mod pipeline_scaling;
 pub mod rate_distortion;
 pub mod table3_ratio;
 
@@ -80,11 +81,7 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "End-to-end breakdown (GPU/CPU/Memcpy), Hurricane U",
             fig14_breakdown::run as Runner,
         ),
-        (
-            "fig15",
-            "Kernel throughput",
-            fig15_kernel::run as Runner,
-        ),
+        ("fig15", "Kernel throughput", fig15_kernel::run as Runner),
         (
             "table3",
             "Compression ratios, 3 compressors x 6 datasets x 4 REL bounds",
@@ -120,7 +117,16 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Time-varying RTM throughput",
             fig22_time_varying::run as Runner,
         ),
-        ("gpus", "Lower-end GPU kernel throughput (A100/V100/3080)", gpus::run as Runner),
+        (
+            "gpus",
+            "Lower-end GPU kernel throughput (A100/V100/3080)",
+            gpus::run as Runner,
+        ),
+        (
+            "pipeline",
+            "Batched multi-stream pipeline scaling vs worker count",
+            pipeline_scaling::run as Runner,
+        ),
         (
             "ablations",
             "Design-choice ablations (L, Lorenzo, encoding)",

@@ -1,0 +1,108 @@
+//! Pipeline scaling — batched multi-stream compression throughput vs
+//! worker count.
+//!
+//! Not a paper figure: cuSZp's evaluation is single-kernel, but §6's
+//! use cases (checkpoint compression, time-varying RTM) are batch
+//! workloads. This experiment drives `cuszp-pipeline` over a batch of
+//! NYX fields with 1, 2, 4, … workers and reports aggregate throughput,
+//! speedup over one worker, and chunk latency. Scaling tops out at the
+//! host's core count — on a single-core runner every row lands near 1×.
+
+use super::Ctx;
+use crate::report::{f2, Report};
+use cuszp_core::ErrorBound;
+use cuszp_pipeline::{Pipeline, PipelineConfig};
+use datasets::{generate_subset, DatasetId};
+use serde::Serialize;
+
+/// One measured row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Worker/stream count.
+    pub workers: usize,
+    /// Aggregate wall-clock throughput, GB/s.
+    pub throughput_gbps: f64,
+    /// Speedup over the 1-worker run.
+    pub speedup: f64,
+    /// Batch compression ratio (same for every row).
+    pub ratio: f64,
+    /// Mean chunk submit-to-complete latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// Worst chunk latency, milliseconds.
+    pub max_latency_ms: f64,
+}
+
+/// Run the pipeline-scaling experiment.
+pub fn run(ctx: &Ctx) {
+    let mut report = Report::new(
+        "pipeline",
+        "Batched multi-stream pipeline scaling vs worker count",
+        &ctx.out_dir,
+    );
+    let fields = generate_subset(DatasetId::Nyx, ctx.scale, ctx.max_fields);
+    let total_bytes: u64 = fields.iter().map(|f| f.size_bytes()).sum();
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    report.line(&format!(
+        "batch: {} NYX fields, {:.1} MB total; host parallelism: {cores}",
+        fields.len(),
+        total_bytes as f64 / 1.0e6
+    ));
+
+    // Chunks small enough that even a Tiny field splits across workers.
+    let chunk_elems = (fields[0].len() / 4).clamp(1, 1 << 20);
+    let mut rows = Vec::new();
+    let mut base_gbps = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let mut pipe = Pipeline::new(PipelineConfig {
+            chunk_elems,
+            ..PipelineConfig::with_workers(workers)
+        });
+        for f in &fields {
+            pipe.submit(&f.name, f.data.clone(), ErrorBound::Rel(1e-2));
+        }
+        let batch = pipe.finish();
+        if workers == 1 {
+            base_gbps = batch.stats.throughput_gbps;
+        }
+        rows.push(Row {
+            workers,
+            throughput_gbps: batch.stats.throughput_gbps,
+            speedup: if base_gbps > 0.0 {
+                batch.stats.throughput_gbps / base_gbps
+            } else {
+                0.0
+            },
+            ratio: batch.stats.ratio,
+            mean_latency_ms: batch.stats.mean_chunk_latency_s * 1e3,
+            max_latency_ms: batch.stats.max_chunk_latency_s * 1e3,
+        });
+    }
+
+    report.table(
+        &[
+            "workers",
+            "GB/s",
+            "speedup",
+            "ratio",
+            "mean lat (ms)",
+            "max lat (ms)",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workers.to_string(),
+                    format!("{:.3}", r.throughput_gbps),
+                    f2(r.speedup),
+                    f2(r.ratio),
+                    f2(r.mean_latency_ms),
+                    f2(r.max_latency_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    report.save_json(&rows);
+    report.save_text();
+}

@@ -138,10 +138,7 @@ pub fn run(ctx: &Ctx) {
                 ]);
             }
         }
-        report.table(
-            &["dataset", "REL", "min", "max", "avg", "paper-avg"],
-            &rows,
-        );
+        report.table(&["dataset", "REL", "min", "max", "avg", "paper-avg"], &rows);
     }
 
     // Who wins each (dataset, bound) cell on average CR?

@@ -89,10 +89,9 @@ mod tests {
             for y in 0..n {
                 for x in 0..n {
                     let c = (n as f32 - 1.0) / 2.0;
-                    let r = (((z as f32 - c).powi(2)
-                        + (y as f32 - c).powi(2)
-                        + (x as f32 - c).powi(2)) as f32)
-                        .sqrt();
+                    let r =
+                        ((z as f32 - c).powi(2) + (y as f32 - c).powi(2) + (x as f32 - c).powi(2))
+                            .sqrt();
                     d[(z * n + y) * n + x] = r;
                 }
             }

@@ -203,8 +203,12 @@ mod tests {
 
     #[test]
     fn ssim_in_range_for_random_pair() {
-        let a: Vec<f32> = (0..512).map(|i| ((i * 2654435761usize) % 1000) as f32).collect();
-        let b: Vec<f32> = (0..512).map(|i| ((i * 40503usize + 7) % 1000) as f32).collect();
+        let a: Vec<f32> = (0..512)
+            .map(|i| ((i * 2654435761usize) % 1000) as f32)
+            .collect();
+        let b: Vec<f32> = (0..512)
+            .map(|i| ((i * 40503usize + 7) % 1000) as f32)
+            .collect();
         let s = ssim(&a, &b, &[8, 8, 8]);
         assert!((-1.0..=1.0).contains(&s), "ssim {s}");
     }

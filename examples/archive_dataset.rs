@@ -59,6 +59,9 @@ fn main() {
             field.name
         );
     }
-    println!("all {} fields verified within bound after reload", fields.len());
+    println!(
+        "all {} fields verified within bound after reload",
+        fields.len()
+    );
     std::fs::remove_file(&path).ok();
 }

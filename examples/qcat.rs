@@ -41,7 +41,12 @@ fn calculate_ssim(orig: &str, recon: &str, dims: &[usize]) -> Result<(), String>
     let b = load(recon)?;
     let n: usize = dims.iter().product();
     if n != a.len() || n != b.len() {
-        return Err(format!("dims {:?} = {} values, files have {}", dims, n, a.len()));
+        return Err(format!(
+            "dims {:?} = {} values, files have {}",
+            dims,
+            n,
+            a.len()
+        ));
     }
     println!("This is little-endian system.");
     println!("reading data from {orig}");
@@ -55,7 +60,12 @@ fn plot_slice(data: &str, dims: &[usize], slice: usize, out: &str) -> Result<(),
     let a = load(data)?;
     let n: usize = dims.iter().product();
     if n != a.len() {
-        return Err(format!("dims {:?} = {} values, file has {}", dims, n, a.len()));
+        return Err(format!(
+            "dims {:?} = {} values, file has {}",
+            dims,
+            n,
+            a.len()
+        ));
     }
     let field = datasets::Field::new("plot", dims.to_vec(), a);
     let (h, w, plane) = field.slice2d(slice);

@@ -1,0 +1,231 @@
+//! Offline shim for `rayon` — eager parallel iterators on scoped threads.
+//!
+//! The subset this workspace uses: `par_iter()` over slices,
+//! `into_par_iter()` over vectors and integer ranges, `.map(..)`,
+//! `.collect()`. Execution model: the item list is materialized, split
+//! into `available_parallelism()` contiguous chunks, and mapped on scoped
+//! `std::thread`s — order-preserving, so results are identical to the
+//! sequential ones.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of worker threads to fan out to (overridable for tests via
+/// `RAYON_NUM_THREADS`, like upstream rayon).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over an owned item list.
+fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads();
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let m = items.len();
+    let chunk = m.div_ceil(workers);
+    let mut slots: Vec<Option<R>> = (0..m).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut items = items;
+        let f = &f;
+        for slot_chunk in slots.chunks_mut(chunk) {
+            let take: Vec<T> = items.drain(..slot_chunk.len()).collect();
+            s.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(take) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
+}
+
+/// A materialized parallel iterator (the shim's only source node).
+pub struct IterBase<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+/// The parallel-iterator operations the workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Execute and return the results in order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Execute and collect (only `Vec<_>` targets are supported).
+    fn collect<C>(self) -> C
+    where
+        C: From<Vec<Self::Item>>,
+    {
+        C::from(self.run())
+    }
+
+    /// Sum of the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Execute `f` for each element (parallel side effects).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        par_apply(self.run(), f);
+    }
+}
+
+impl<T: Send> ParallelIterator for IterBase<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_apply(self.base.run(), self.f)
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterBase<T>;
+    fn into_par_iter(self) -> IterBase<T> {
+        IterBase { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = IterBase<$t>;
+            fn into_par_iter(self) -> IterBase<$t> {
+                IterBase { items: self.collect() }
+            }
+        }
+        impl IntoParallelIterator for RangeInclusive<$t> {
+            type Item = $t;
+            type Iter = IterBase<$t>;
+            fn into_par_iter(self) -> IterBase<$t> {
+                IterBase { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Borrowing counterpart of [`IntoParallelIterator`] (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterate by reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IterBase<&'a T>;
+    fn par_iter(&'a self) -> IterBase<&'a T> {
+        IterBase {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IterBase<&'a T>;
+    fn par_iter(&'a self) -> IterBase<&'a T> {
+        IterBase {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// What `use rayon::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|i| i * i).collect();
+        let expect: Vec<u64> = (0..1000u64).map(|i| i * i).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn slice_par_iter() {
+        let names = ["a", "bb", "ccc"];
+        let lens: Vec<usize> = names.par_iter().map(|n| n.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn inclusive_range() {
+        let v: Vec<usize> = (1..=36usize).into_par_iter().map(|i| i * 100).collect();
+        assert_eq!(v.len(), 36);
+        assert_eq!(v[0], 100);
+        assert_eq!(v[35], 3600);
+    }
+}

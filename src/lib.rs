@@ -5,6 +5,8 @@
 //!
 //! * [`cuszp_core`] — the cuSZp compressor (single fused kernel on the
 //!   simulated device, plus a host reference codec).
+//! * [`cuszp_pipeline`] — batched multi-stream compression with a bounded
+//!   submission queue and per-stream counters.
 //! * [`baselines`] — cuSZ-, cuSZx-, and cuZFP-like comparison compressors.
 //! * [`gpu_sim`] — the CUDA-like execution substrate and timing model.
 //! * [`datasets`] — synthetic SDRBench-equivalent data generators.
@@ -17,6 +19,7 @@
 
 pub use baselines;
 pub use cuszp_core;
+pub use cuszp_pipeline;
 pub use datasets;
 pub use gpu_sim;
 pub use harness;

@@ -1,0 +1,160 @@
+//! Chunked container round trips across the stack: chunk-boundary
+//! reconstruction, the empty container, single-chunk degeneration to the
+//! existing format, corruption rejection, and pipeline/sequential
+//! equivalence.
+
+use cuszp_repro::cuszp_core::{
+    chunked::CONTAINER_HEADER_BYTES, ChunkedCompressed, Compressed, Cuszp, ErrorBound, FormatError,
+};
+use cuszp_repro::cuszp_pipeline::{Pipeline, PipelineConfig};
+use proptest::prelude::*;
+
+fn wavy(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| (i as f32 * 0.021).sin() * 11.0 + (i as f32 * 0.0031).cos())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn reconstruction_is_seamless_across_chunk_boundaries(
+        n in 1usize..3000,
+        chunk_elems in prop_oneof![Just(1usize), Just(31), Just(32), Just(100), Just(1024)],
+        eb in 1e-4f64..1e-1,
+    ) {
+        let data = wavy(n);
+        let codec = Cuszp::new();
+        let container = codec.compress_chunked(&data, ErrorBound::Abs(eb), chunk_elems);
+        prop_assert_eq!(container.num_chunks(), n.div_ceil(chunk_elems));
+        prop_assert_eq!(container.total_elements(), n as u64);
+
+        let back: Vec<f32> = codec.decompress_chunked(&container);
+        prop_assert_eq!(back.len(), n);
+        // The bound must hold *everywhere*, in particular at the seams.
+        for (&d, &r) in data.iter().zip(&back) {
+            prop_assert!((d as f64 - r as f64).abs() <= eb * (1.0 + 1e-6));
+        }
+        // A boundary-blind comparison: chunked reconstruction equals
+        // per-slice single-shot reconstruction.
+        let mut reference = Vec::new();
+        for slice in data.chunks(chunk_elems) {
+            let c = codec.compress(slice, ErrorBound::Abs(eb));
+            reference.extend(codec.decompress::<f32>(&c));
+        }
+        prop_assert_eq!(back, reference);
+    }
+
+    #[test]
+    fn chunks_are_bit_identical_to_single_shot(
+        n in 1usize..2000,
+        chunk_elems in prop_oneof![Just(32usize), Just(64), Just(257)],
+    ) {
+        let data = wavy(n);
+        let codec = Cuszp::new();
+        let eb = codec.resolve_bound(&data, ErrorBound::Rel(1e-3));
+        let container = codec.compress_chunked(&data, ErrorBound::Rel(1e-3), chunk_elems);
+        for (slice, chunk) in data.chunks(chunk_elems).zip(&container.chunks) {
+            let single = codec.compress(slice, ErrorBound::Abs(eb));
+            prop_assert_eq!(single.to_bytes(), chunk.to_bytes());
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip(
+        n in 0usize..2000,
+        chunk_elems in prop_oneof![Just(50usize), Just(512)],
+    ) {
+        let data = wavy(n);
+        let container = Cuszp::new().compress_chunked(&data, ErrorBound::Abs(1e-3), chunk_elems);
+        let back = ChunkedCompressed::from_bytes(&container.to_bytes()).unwrap();
+        prop_assert_eq!(back, container);
+    }
+
+    #[test]
+    fn corrupted_container_never_panics(
+        flip_at in 0usize..200,
+        xor in 1u8..255,
+    ) {
+        let container = Cuszp::new().compress_chunked(&wavy(500), ErrorBound::Abs(1e-2), 100);
+        let mut bytes = container.to_bytes();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= xor;
+        // Either the flip is caught (an error) or it landed in payload
+        // bits and still parses — both fine; a panic is the only failure.
+        let _ = ChunkedCompressed::from_bytes(&bytes);
+    }
+}
+
+#[test]
+fn empty_container_roundtrips() {
+    let codec = Cuszp::new();
+    let container = codec.compress_chunked::<f32>(&[], ErrorBound::Abs(1.0), 128);
+    assert_eq!(container.num_chunks(), 0);
+    let bytes = container.to_bytes();
+    let back = ChunkedCompressed::from_bytes(&bytes).unwrap();
+    assert_eq!(back.num_chunks(), 0);
+    assert_eq!(codec.decompress_chunked::<f32>(&back), Vec::<f32>::new());
+}
+
+#[test]
+fn single_chunk_degenerates_to_existing_format() {
+    let data = wavy(777);
+    let codec = Cuszp::new();
+    let container = codec.compress_chunked(&data, ErrorBound::Abs(1e-3), usize::MAX >> 1);
+    assert_eq!(container.num_chunks(), 1);
+    // The frame tail is exactly the single-stream serialization, parseable
+    // by the existing decoder.
+    let bytes = container.to_bytes();
+    let inner = Compressed::from_bytes(&bytes[CONTAINER_HEADER_BYTES + 8..]).unwrap();
+    assert_eq!(inner, container.chunks[0]);
+    let back: Vec<f32> = codec.decompress(&inner);
+    assert_eq!(back.len(), 777);
+}
+
+#[test]
+fn corrupted_headers_rejected_with_errors() {
+    let container = Cuszp::new().compress_chunked(&wavy(300), ErrorBound::Abs(1e-2), 100);
+    let good = container.to_bytes();
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'!';
+    assert_eq!(
+        ChunkedCompressed::from_bytes(&bad_magic),
+        Err(FormatError::BadMagic)
+    );
+
+    let mut huge_count = good.clone();
+    huge_count[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(ChunkedCompressed::from_bytes(&huge_count).is_err());
+
+    let mut lying_length = good.clone();
+    lying_length[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(ChunkedCompressed::from_bytes(&lying_length).is_err());
+
+    for cut in [0, 5, CONTAINER_HEADER_BYTES, good.len() - 1] {
+        assert!(
+            ChunkedCompressed::from_bytes(&good[..cut]).is_err(),
+            "cut {cut}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_output_equals_sequential_container() {
+    let fields: Vec<Vec<f32>> = (0..5).map(|i| wavy(2048 + i * 311)).collect();
+    let mut pipe = Pipeline::new(PipelineConfig {
+        chunk_elems: 512,
+        ..PipelineConfig::with_workers(3)
+    });
+    for (i, f) in fields.iter().enumerate() {
+        pipe.submit(&format!("f{i}"), f.clone(), ErrorBound::Rel(1e-3));
+    }
+    let batch = pipe.finish();
+    let codec = Cuszp::new();
+    for (f, out) in fields.iter().zip(&batch.fields) {
+        let reference = codec.compress_chunked(f, ErrorBound::Rel(1e-3), 512);
+        assert_eq!(out.container.to_bytes(), reference.to_bytes());
+    }
+}

@@ -1,0 +1,142 @@
+//! The error-bound contract, property-tested end to end:
+//! `|decompress(compress(d)) − d| ≤ eb` for every element, both dtypes,
+//! absolute and relative bounds, and the awkward lengths that stress
+//! partial blocks (0, 1, L−1, L, L+1, non-multiples of L).
+
+use cuszp_repro::cuszp_core::{Cuszp, ErrorBound};
+use proptest::prelude::*;
+
+/// Lengths around the default block size L = 32 plus non-multiples.
+fn awkward_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        Just(31usize),
+        Just(32usize),
+        Just(33usize),
+        Just(63usize),
+        Just(65usize),
+        Just(100usize),
+        2usize..700,
+    ]
+}
+
+fn eb_abs() -> impl Strategy<Value = f64> {
+    prop_oneof![1e-6f64..1e-2, 1e-2f64..1.0]
+}
+
+/// Narrowing the f64 reconstruction to f32 can add up to half a ULP of
+/// the value — the bound cannot hold below the type's own precision.
+fn ulp_slack_f32(v: f32) -> f64 {
+    v.abs() as f64 * f32::EPSILON as f64
+}
+
+/// Verify the contract for one f32 round trip at an absolute bound.
+fn check_f32(data: &[f32], eb: f64) -> Result<(), TestCaseError> {
+    let codec = Cuszp::new();
+    let c = codec.compress(data, ErrorBound::Abs(eb));
+    let back: Vec<f32> = codec.decompress(&c);
+    prop_assert_eq!(back.len(), data.len());
+    for (i, (&d, &r)) in data.iter().zip(&back).enumerate() {
+        let err = (d as f64 - r as f64).abs();
+        prop_assert!(
+            err <= eb * (1.0 + 1e-6) + ulp_slack_f32(d) + f64::EPSILON,
+            "element {i}: |{d} - {r}| = {err} > eb {eb}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f32_abs_bound_holds_for_awkward_lengths(
+        n in awkward_len(),
+        scale in 0.1f32..100.0,
+        eb in eb_abs(),
+    ) {
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * scale).collect();
+        check_f32(&data, eb)?;
+    }
+
+    #[test]
+    fn f32_abs_bound_holds_for_random_data(
+        data in proptest::collection::vec(-1e4f32..1e4, 0..300),
+        eb in eb_abs(),
+    ) {
+        check_f32(&data, eb)?;
+    }
+
+    #[test]
+    fn f32_rel_bound_holds(
+        data in proptest::collection::vec(-50.0f32..50.0, 2..300),
+        rel in 1e-4f64..1e-1,
+    ) {
+        let codec = Cuszp::new();
+        let eb = codec.resolve_bound(&data, ErrorBound::Rel(rel));
+        prop_assume!(eb > 0.0); // constant data has zero range
+        let c = codec.compress(&data, ErrorBound::Rel(rel));
+        prop_assert!((c.eb - eb).abs() <= eb * 1e-12);
+        let back: Vec<f32> = codec.decompress(&c);
+        for (&d, &r) in data.iter().zip(&back) {
+            prop_assert!(
+                (d as f64 - r as f64).abs() <= eb * (1.0 + 1e-6) + ulp_slack_f32(d)
+            );
+        }
+    }
+
+    #[test]
+    fn f64_abs_bound_holds_for_awkward_lengths(
+        n in awkward_len(),
+        scale in 0.1f64..1e6,
+        eb in eb_abs(),
+    ) {
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() * scale).collect();
+        let codec = Cuszp::new();
+        let c = codec.compress(&data, ErrorBound::Abs(eb));
+        let back: Vec<f64> = codec.decompress(&c);
+        prop_assert_eq!(back.len(), data.len());
+        for (&d, &r) in data.iter().zip(&back) {
+            prop_assert!((d - r).abs() <= eb * (1.0 + 1e-6) + d.abs() * f64::EPSILON + f64::EPSILON);
+        }
+    }
+
+    #[test]
+    fn constant_fields_reconstruct_within_bound(
+        n in awkward_len(),
+        v in -100.0f32..100.0,
+        eb in eb_abs(),
+    ) {
+        let data = vec![v; n];
+        check_f32(&data, eb)?;
+    }
+
+    #[test]
+    fn all_zero_fields_cost_one_byte_per_block(
+        n in 1usize..600,
+        eb in eb_abs(),
+    ) {
+        let data = vec![0.0f32; n];
+        let codec = Cuszp::new();
+        let c = codec.compress(&data, ErrorBound::Abs(eb));
+        // Zero blocks are the format's best case: F = 0, no payload.
+        prop_assert_eq!(c.stream_bytes(), c.num_blocks() as u64);
+        check_f32(&data, eb)?;
+    }
+
+    #[test]
+    fn values_below_eb_quantize_to_zero_blocks(
+        n in 1usize..400,
+        eb in 0.5f64..10.0,
+    ) {
+        // |d| < eb  =>  round(d / 2eb) == 0 everywhere: all-zero blocks.
+        let data: Vec<f32> = (0..n)
+            .map(|i| ((i as f64 * 0.71).sin() * eb * 0.9) as f32)
+            .collect();
+        let codec = Cuszp::new();
+        let c = codec.compress(&data, ErrorBound::Abs(eb));
+        prop_assert!(c.fixed_lengths.iter().all(|&f| f == 0));
+        prop_assert_eq!(c.payload.len(), 0);
+    }
+}

@@ -68,14 +68,21 @@ fn faster_devices_give_faster_kernels() {
     let f = field();
     let eb = ErrorBound::Rel(1e-2).absolute(f.value_range() as f64);
     let mut results = Vec::new();
-    for spec in [DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::rtx3080()] {
+    for spec in [
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+        DeviceSpec::rtx3080(),
+    ] {
         let mut gpu = Gpu::new(spec);
         let input = gpu.h2d(&f.data);
         gpu.reset_timeline();
         let _ = CuszpAdapter::new().compress(&mut gpu, &input, &f.shape, eb);
         results.push(gpu.kernel_throughput_gbps(f.size_bytes()));
     }
-    assert!(results[0] > results[1] && results[1] > results[2], "{results:?}");
+    assert!(
+        results[0] > results[1] && results[1] > results[2],
+        "{results:?}"
+    );
 }
 
 #[test]
