@@ -1,0 +1,61 @@
+//! Host codec throughput: `host_ref` (the step-by-step oracle) against
+//! the word-parallel two-phase `fast` codec, both directions, both
+//! element types. The harness experiment `repro host_codec` records the
+//! same comparison into `BENCH_host_codec.json`; this criterion target
+//! gives the statistically careful local view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuszp_core::{fast, host_ref, CuszpConfig, FloatData};
+use std::hint::black_box;
+
+fn corpus<T: FloatData>(n: usize) -> Vec<T> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            T::from_f64((x * 0.02).sin() * 40.0 + (x * 0.11).cos() * 3.0)
+        })
+        .collect()
+}
+
+fn bench_dtype<T: FloatData>(c: &mut Criterion, tag: &str) {
+    let n = 1 << 20;
+    let data = corpus::<T>(n);
+    let eb = 0.01;
+    let cfg = CuszpConfig::default();
+    let stream = host_ref::compress(&data, eb, cfg);
+    assert_eq!(
+        stream,
+        fast::compress(&data, eb, cfg),
+        "fast codec must stay byte-identical to host_ref"
+    );
+
+    let mut group = c.benchmark_group(format!("host_codec_{tag}"));
+
+    group.bench_function("compress_ref", |b| {
+        b.iter(|| black_box(host_ref::compress(black_box(&data), eb, cfg).stream_bytes()))
+    });
+    group.bench_function("compress_fast", |b| {
+        b.iter(|| black_box(fast::compress(black_box(&data), eb, cfg).stream_bytes()))
+    });
+    group.bench_function("compress_fast_mt", |b| {
+        b.iter(|| black_box(fast::compress_threaded(black_box(&data), eb, cfg, 0).stream_bytes()))
+    });
+    group.bench_function("decompress_ref", |b| {
+        b.iter(|| black_box(host_ref::decompress::<T>(black_box(&stream)).len()))
+    });
+    group.bench_function("decompress_fast", |b| {
+        b.iter(|| black_box(fast::decompress::<T>(black_box(&stream)).len()))
+    });
+    group.bench_function("decompress_fast_mt", |b| {
+        b.iter(|| black_box(fast::decompress_threaded::<T>(black_box(&stream), 0).len()))
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    bench_dtype::<f32>(c, "f32");
+    bench_dtype::<f64>(c, "f64");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,6 +8,14 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_BLOCK_LEN: usize = 32;
 
 /// User-facing error-bound mode (paper Eq 1).
+///
+/// # Non-finite data policy
+///
+/// The REL denominator ([`crate::value_range`]) **skips** NaN and ±∞, so
+/// a few stray non-finite values do not poison the bound resolution; the
+/// range comes from the finite values alone. The bound guarantee itself
+/// only ever applies to finite elements — a NaN input quantizes to an
+/// integer like any other value and reconstructs as a finite number.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ErrorBound {
     /// Absolute bound δ: `|d_i − d'_i| ≤ δ`.
@@ -20,7 +28,9 @@ impl ErrorBound {
     /// Resolve to an absolute bound given the dataset's value range.
     ///
     /// # Panics
-    /// Panics if the resolved bound is not finite and positive.
+    /// Panics if the resolved bound is not finite and positive — for REL
+    /// bounds that includes empty, constant, and all-non-finite data,
+    /// whose value range is `0.0`.
     pub fn absolute(&self, value_range: f64) -> f64 {
         let eb = match self {
             ErrorBound::Abs(d) => *d,
@@ -28,7 +38,9 @@ impl ErrorBound {
         };
         assert!(
             eb.is_finite() && eb > 0.0,
-            "error bound must be positive and finite, got {eb}"
+            "error bound must be positive and finite, got {eb} from {self} \
+             (value range {value_range}; REL cannot resolve on empty, \
+             constant, or all-non-finite data)"
         );
         eb
     }

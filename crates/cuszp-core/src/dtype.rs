@@ -38,6 +38,31 @@ impl DType {
             DType::F64 => 8,
         }
     }
+
+    /// Largest fixed length `F` a stream of this element type can use.
+    ///
+    /// `f32` quantization integers fit in the `i32` range wherever the
+    /// bound is meaningful (the reference cuSZp stores them in `int`);
+    /// the block-internal Lorenzo difference of two such integers spans
+    /// at most 33 bits. `f64` residual magnitudes are capped by the
+    /// 64-bit unsigned-abs representation. This bounds the device
+    /// payload allocation at `(max_F + 1)·L/8` bytes per block — roughly
+    /// **half** the f64 worst case for f32 streams.
+    pub fn max_fixed_len(self) -> u8 {
+        match self {
+            DType::F32 => 33,
+            DType::F64 => 64,
+        }
+    }
+}
+
+mod sealed {
+    /// Seals [`super::FloatData`] to `f32`/`f64`: the SIMD batch paths in
+    /// [`crate::simd`] reinterpret `&[T]` by `T::DTYPE`, which is sound
+    /// only if the tag cannot lie about the element type.
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
 }
 
 /// A floating-point element the codec can quantize.
@@ -45,8 +70,9 @@ impl DType {
 /// The quantization itself runs in `f64` for both types; the trait carries
 /// the conversions and the stream tag. The error-bound guarantee is exact
 /// in `f64` arithmetic, with reconstruction rounding bounded by one ULP of
-/// the element type (see `verify::check_bound`).
-pub trait FloatData: gpu_sim::DeviceCopy + PartialEq + std::fmt::Debug {
+/// the element type (see `verify::check_bound`). Sealed: implemented for
+/// `f32` and `f64` only.
+pub trait FloatData: gpu_sim::DeviceCopy + PartialEq + std::fmt::Debug + sealed::Sealed {
     /// This type's stream tag.
     const DTYPE: DType;
     /// Widen to `f64` for quantization.

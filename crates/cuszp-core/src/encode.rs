@@ -63,7 +63,7 @@ pub fn apply_sign_map(abs_vals: &[u64], signs: &[u8], out: &mut [i64]) {
     for (e, &a) in abs_vals.iter().enumerate() {
         let neg = signs[e / 8] & (1 << (e % 8)) != 0;
         let v = a as i64;
-        out[e] = if neg { -v } else { v };
+        out[e] = if neg { v.wrapping_neg() } else { v };
     }
 }
 

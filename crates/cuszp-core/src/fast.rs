@@ -1,0 +1,608 @@
+//! The optimized host codec — byte-identical to [`crate::host_ref`],
+//! restructured for speed.
+//!
+//! `host_ref` walks the pipeline step by step per block (quantize →
+//! plan → sign map → abs pass → bit-by-bit shuffle) and grows the payload
+//! `Vec` as it goes. This module instead mirrors the GPU kernel's own
+//! **two-phase** structure on the host (paper §4.3):
+//!
+//! - **Phase 1** fuses quantize + Lorenzo + `(F, CmpL)` planning +
+//!   encoding per *tile* of blocks: residuals live in a small reused
+//!   scratch that stays cache-resident (never a data-sized buffer), the
+//!   quantization arithmetic runs through [`crate::simd`] (AVX-512 when
+//!   the host has it, bit-exact scalar otherwise), and each block's sign
+//!   map + bit planes are emitted into the worker's staging buffer the
+//!   moment they are planned — the host analogue of the GPU kernel
+//!   encoding into shared memory before the global offsets exist.
+//! - An exclusive **prefix sum** over the per-block `CmpL` table — the
+//!   host edition of the paper's Global Synchronization step — fixes
+//!   every block's payload offset.
+//! - **Phase 2** places each worker's staged bytes at its scanned offset
+//!   in the final payload. Staged bytes are already exactly the final
+//!   bytes (fraction ⓑ is a plain concatenation), so placement is a
+//!   bulk copy — and with one worker the staging buffer simply *becomes*
+//!   the payload.
+//!
+//! The bit-plane work itself is word-parallel twice over: per 8-value
+//! group, the magnitudes' byte matrix is transposed
+//! ([`crate::bitshuffle::byte_transpose8x8`]) to expose each 8-plane
+//! chunk as one `u64`, each chunk is bit-transposed
+//! ([`crate::bitshuffle::transpose8x8`]), and a second byte transpose
+//! across groups turns the results into whole plane *rows*, stored with
+//! word writes instead of strided byte writes. Decoding runs the same
+//! three transposes backwards (each is an involution).
+//!
+//! No per-block heap allocation happens in either direction. Because
+//! blocks are independent once the offsets are known — the same argument
+//! the paper's GS step makes for the GPU — both directions have an
+//! opt-in multi-threaded form ([`compress_threaded`] /
+//! [`decompress_threaded`]) whose output is **bit-identical to the
+//! sequential path by construction**: workers own disjoint block ranges
+//! and their staged bytes land at disjoint, precomputed byte ranges.
+
+use crate::bitshuffle::{byte_transpose8x8, transpose8x8};
+use crate::config::CuszpConfig;
+use crate::dtype::FloatData;
+use crate::encode::cmp_bytes_for;
+use crate::format::Compressed;
+use crate::simd;
+
+/// Residual-scratch sizing: tiles hold about this many elements so the
+/// working set (64 KiB of `i64`) stays in L2 instead of round-tripping a
+/// data-sized buffer through DRAM.
+const TILE_ELEMS: usize = 8192;
+
+/// Resolve a requested worker count: `0` means the host's parallelism.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Split `num_blocks` into at most `threads` contiguous non-empty ranges.
+fn block_ranges(num_blocks: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.min(num_blocks).max(1);
+    let per = num_blocks / threads;
+    let extra = num_blocks % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut at = 0;
+    for t in 0..threads {
+        let len = per + usize::from(t < extra);
+        if len > 0 {
+            ranges.push((at, at + len));
+            at += len;
+        }
+    }
+    ranges
+}
+
+/// Encode one block's sign map + bit planes into `out[..CmpL]`. Layout is
+/// exactly `host_ref`'s (sign bytes, then the `F` bit planes of Fig 11);
+/// only the traversal is word-parallel (see module docs).
+fn encode_block(resid: &[i64], f: u8, out: &mut [u8]) {
+    let bpp = resid.len() / 8; // bytes per plane = L/8
+    let chunks = (f as usize).div_ceil(8);
+    let (sign_bytes, planes) = out.split_at_mut(bpp);
+    let mut j0 = 0usize;
+    while j0 < bpp {
+        let strip = (bpp - j0).min(8);
+        // ys[t][g]: byte c = plane (8t+c) byte of strip group g.
+        let mut ys = [[0u64; 8]; 8];
+        for (g, group) in resid[8 * j0..8 * (j0 + strip)].chunks_exact(8).enumerate() {
+            let mut s = 0u8;
+            let mut m = [0u64; 8];
+            for (i, &r) in group.iter().enumerate() {
+                s |= u8::from(r < 0) << i;
+                m[i] = r.unsigned_abs();
+            }
+            sign_bytes[j0 + g] = s;
+            // limbs[t] = byte t of each of the 8 magnitudes — all eight
+            // 8-plane chunks of the group from one byte transpose.
+            let limbs = byte_transpose8x8(m);
+            for (t, y) in ys.iter_mut().enumerate().take(chunks) {
+                y[g] = transpose8x8(limbs[t]);
+            }
+        }
+        // Across the strip: one more byte transpose turns per-group chunk
+        // words into whole plane rows, stored with word-sized writes.
+        for (t, y) in ys.iter().enumerate().take(chunks) {
+            let rows = byte_transpose8x8(*y);
+            let k0 = 8 * t;
+            let n_planes = (f as usize - k0).min(8);
+            for (c, row) in rows.iter().enumerate().take(n_planes) {
+                planes[(k0 + c) * bpp + j0..][..strip].copy_from_slice(&row.to_le_bytes()[..strip]);
+            }
+        }
+        j0 += strip;
+    }
+}
+
+/// Phase 1 for blocks `[b0, b1)`: tile-fused quantize + Lorenzo + plan +
+/// encode. Fills `fls`/`cmps` (the `(F, CmpL)` scratch table) and appends
+/// every non-zero block's payload bytes to `staging` in block order.
+#[allow(clippy::too_many_arguments)]
+fn plan_and_encode<T: FloatData>(
+    data: &[T],
+    eb: f64,
+    lorenzo: bool,
+    l: usize,
+    b0: usize,
+    fls: &mut [u8],
+    cmps: &mut [u32],
+    staging: &mut Vec<u8>,
+) {
+    let blocks_per_tile = (TILE_ELEMS / l).max(1);
+    let mut resid = vec![0i64; blocks_per_tile * l];
+    let mut maxes = vec![0u64; blocks_per_tile];
+    let num_blocks = fls.len();
+    let n = data.len();
+    let b32 = l == 32 && simd::block32_available();
+
+    let mut i = 0;
+    while i < num_blocks {
+        let tile = (num_blocks - i).min(blocks_per_tile);
+        let start = (b0 + i) * l;
+        let end = (start + tile * l).min(n);
+        simd::quantize_blocks(
+            &data[start..end],
+            l,
+            eb,
+            lorenzo,
+            &mut resid[..tile * l],
+            &mut maxes[..tile],
+        );
+        for (k, &max_abs) in maxes[..tile].iter().enumerate() {
+            let f = (64 - max_abs.leading_zeros()) as u8;
+            let cmp = cmp_bytes_for(f, l);
+            fls[i + k] = f;
+            cmps[i + k] = cmp;
+            if f > 0 {
+                let at = staging.len();
+                staging.resize(at + cmp as usize, 0);
+                let block = &resid[k * l..(k + 1) * l];
+                if b32 && f <= 16 {
+                    simd::encode_block32(block, f, &mut staging[at..]);
+                } else {
+                    encode_block(block, f, &mut staging[at..]);
+                }
+            }
+        }
+        i += tile;
+    }
+}
+
+/// Compress `data` under an **absolute** error bound `eb`, sequentially.
+/// Byte-identical to [`crate::host_ref::compress`].
+pub fn compress<T: FloatData>(data: &[T], eb: f64, cfg: CuszpConfig) -> Compressed {
+    compress_threaded(data, eb, cfg, 1)
+}
+
+/// Compress with `threads` workers (`0` ⇒ [`std::thread::available_parallelism`]).
+///
+/// Workers own disjoint block ranges and stage their payload fraction in
+/// block order, and the prefix-sum offsets place each staged range
+/// exactly, so the stream is **bit-identical** to the sequential path for
+/// every thread count.
+pub fn compress_threaded<T: FloatData>(
+    data: &[T],
+    eb: f64,
+    cfg: CuszpConfig,
+    threads: usize,
+) -> Compressed {
+    cfg.validate();
+    assert!(
+        eb.is_finite() && eb > 0.0,
+        "absolute bound must be positive"
+    );
+    let l = cfg.block_len;
+    let num_blocks = data.len().div_ceil(l);
+    let threads = resolve_threads(threads);
+
+    let mut fixed_lengths = vec![0u8; num_blocks];
+    let mut cmps = vec![0u32; num_blocks];
+    let ranges = block_ranges(num_blocks, threads);
+
+    let payload = if ranges.len() <= 1 {
+        // One worker: its staging buffer IS the payload.
+        let mut staging = Vec::with_capacity(std::mem::size_of_val(data) / 8 + 64);
+        if num_blocks > 0 {
+            plan_and_encode(
+                data,
+                eb,
+                cfg.lorenzo,
+                l,
+                0,
+                &mut fixed_lengths,
+                &mut cmps,
+                &mut staging,
+            );
+        }
+        staging
+    } else {
+        // Phase 1 in parallel: each worker fills its slice of the (F,
+        // CmpL) table and stages its payload fraction.
+        let mut stagings: Vec<Vec<u8>> = Vec::with_capacity(ranges.len());
+        std::thread::scope(|s| {
+            let mut fl_rest = &mut fixed_lengths[..];
+            let mut cmp_rest = &mut cmps[..];
+            let mut handles = Vec::with_capacity(ranges.len());
+            for &(b0, b1) in &ranges {
+                let (fls, flr) = fl_rest.split_at_mut(b1 - b0);
+                fl_rest = flr;
+                let (cs, cr) = cmp_rest.split_at_mut(b1 - b0);
+                cmp_rest = cr;
+                handles.push(s.spawn(move || {
+                    let guess = (b1 - b0) * l * std::mem::size_of::<T>() / 8 + 64;
+                    let mut staging = Vec::with_capacity(guess);
+                    plan_and_encode(data, eb, cfg.lorenzo, l, b0, fls, cs, &mut staging);
+                    staging
+                }));
+            }
+            for h in handles {
+                stagings.push(h.join().expect("codec worker panicked"));
+            }
+        });
+
+        // Global Synchronization, host edition: the exclusive prefix sum
+        // over CmpL fixes every block's offset; phase 2 places each
+        // worker's staged bytes at its range's offset.
+        let mut offsets = vec![0u64; num_blocks + 1];
+        let mut acc = 0u64;
+        for (b, &c) in cmps.iter().enumerate() {
+            offsets[b] = acc;
+            acc += c as u64;
+        }
+        offsets[num_blocks] = acc;
+
+        let mut payload = Vec::with_capacity(acc as usize);
+        for (&(b0, _), staged) in ranges.iter().zip(&stagings) {
+            debug_assert_eq!(payload.len() as u64, offsets[b0]);
+            payload.extend_from_slice(staged);
+        }
+        debug_assert_eq!(payload.len() as u64, acc);
+        payload
+    };
+
+    Compressed {
+        num_elements: data.len() as u64,
+        block_len: l as u32,
+        eb,
+        lorenzo: cfg.lorenzo,
+        dtype: T::DTYPE,
+        fixed_lengths,
+        payload,
+    }
+}
+
+/// Decode one block's quantization integers from its payload bytes into
+/// `q[..L]` — the exact inverse of [`encode_block`] plus the Lorenzo
+/// prefix sum.
+fn decode_block(payload: &[u8], f: u8, lorenzo: bool, l: usize, q: &mut [i64]) {
+    let bpp = l / 8;
+    let chunks = (f as usize).div_ceil(8);
+    let (sign_bytes, planes) = payload.split_at(bpp);
+    let mut acc = 0i64;
+    let mut j0 = 0usize;
+    while j0 < bpp {
+        let strip = (bpp - j0).min(8);
+        // Inverse of the encoder's strip step: plane rows → per-group
+        // chunk words → per-group magnitude limbs.
+        let mut ys = [[0u64; 8]; 8];
+        for (t, y) in ys.iter_mut().enumerate().take(chunks) {
+            let k0 = 8 * t;
+            let n_planes = (f as usize - k0).min(8);
+            let mut rows = [0u64; 8];
+            for (c, row) in rows.iter_mut().enumerate().take(n_planes) {
+                let mut bytes = [0u8; 8];
+                bytes[..strip].copy_from_slice(&planes[(k0 + c) * bpp + j0..][..strip]);
+                *row = u64::from_le_bytes(bytes);
+            }
+            *y = byte_transpose8x8(rows);
+        }
+        for g in 0..strip {
+            let mut limbs = [0u64; 8];
+            for (t, y) in ys.iter().enumerate().take(chunks) {
+                limbs[t] = transpose8x8(y[g]);
+            }
+            let m = byte_transpose8x8(limbs); // m[i] = |residual i|
+            let s = sign_bytes[j0 + g];
+            let dst = &mut q[8 * (j0 + g)..8 * (j0 + g) + 8];
+            for (i, out) in dst.iter_mut().enumerate() {
+                let v = m[i] as i64;
+                let r = if s & (1 << i) != 0 {
+                    v.wrapping_neg()
+                } else {
+                    v
+                };
+                *out = if lorenzo {
+                    acc = acc.wrapping_add(r);
+                    acc
+                } else {
+                    r
+                };
+            }
+        }
+        j0 += strip;
+    }
+}
+
+/// Decode blocks `[b0, b1)` from `payload` into `out` (the slice covering
+/// elements `b0·L .. min(b1·L, N)`), tile by tile: blocks decode into a
+/// cache-resident integer scratch, then one batch dequantize per tile.
+#[allow(clippy::too_many_arguments)]
+fn decode_blocks<T: FloatData>(
+    fls: &[u8],
+    offsets: &[u64],
+    payload: &[u8],
+    l: usize,
+    b0: usize,
+    n: usize,
+    eb: f64,
+    lorenzo: bool,
+    out: &mut [T],
+) {
+    let blocks_per_tile = (TILE_ELEMS / l).max(1);
+    let mut q = vec![0i64; blocks_per_tile * l];
+    let num_blocks = fls.len();
+    let out_base = b0 * l;
+    let b32 = l == 32 && simd::block32_available();
+
+    let mut i = 0;
+    while i < num_blocks {
+        let tile = (num_blocks - i).min(blocks_per_tile);
+        for (k, &f) in fls[i..i + tile].iter().enumerate() {
+            let qb = &mut q[k * l..(k + 1) * l];
+            if f == 0 {
+                qb.fill(0); // zero block: every quantization integer is 0
+                continue;
+            }
+            let off = offsets[b0 + i + k] as usize;
+            let bytes = &payload[off..off + cmp_bytes_for(f, l) as usize];
+            if b32 && f <= 16 {
+                simd::decode_block32(bytes, f, lorenzo, qb);
+            } else {
+                decode_block(bytes, f, lorenzo, l, qb);
+            }
+        }
+        let start = (b0 + i) * l;
+        let end = (start + tile * l).min(n);
+        simd::dequantize_slice(&q, eb, &mut out[start - out_base..end - out_base]);
+        i += tile;
+    }
+}
+
+/// Decompress a stream sequentially. Identical output to
+/// [`crate::host_ref::decompress`].
+///
+/// # Panics
+/// Panics if the stream is structurally invalid or was compressed from a
+/// different element type than `T`.
+pub fn decompress<T: FloatData>(c: &Compressed) -> Vec<T> {
+    decompress_threaded(c, 1)
+}
+
+/// Decompress with `threads` workers (`0` ⇒ host parallelism). Blocks
+/// decode independently at Eq-2 offsets, so the output is identical for
+/// every thread count.
+pub fn decompress_threaded<T: FloatData>(c: &Compressed, threads: usize) -> Vec<T> {
+    // The exact-length payload check matters here: block offsets are
+    // trusted for direct slicing below.
+    c.validate().expect("invalid stream");
+    assert_eq!(c.dtype, T::DTYPE, "stream element type mismatch");
+    let l = c.block_len as usize;
+    let n = c.num_elements as usize;
+    let num_blocks = c.num_blocks();
+    let threads = resolve_threads(threads);
+
+    // Rebuild the offset table from fraction ⓐ via Eq 2 (Fig 2's offsets
+    // are never stored).
+    let mut offsets = vec![0u64; num_blocks + 1];
+    let mut acc = 0u64;
+    for (b, &f) in c.fixed_lengths.iter().enumerate() {
+        offsets[b] = acc;
+        acc += cmp_bytes_for(f, l) as u64;
+    }
+    offsets[num_blocks] = acc;
+
+    let mut out = vec![T::default(); n];
+    let ranges = block_ranges(num_blocks, threads);
+    if ranges.len() <= 1 {
+        if num_blocks > 0 {
+            decode_blocks(
+                &c.fixed_lengths,
+                &offsets,
+                &c.payload,
+                l,
+                0,
+                n,
+                c.eb,
+                c.lorenzo,
+                &mut out,
+            );
+        }
+    } else {
+        let offsets = &offsets[..];
+        std::thread::scope(|s| {
+            let mut out_rest = &mut out[..];
+            let mut consumed = 0usize;
+            for &(b0, b1) in &ranges {
+                let end = (b1 * l).min(n);
+                let (mine, rest) = out_rest.split_at_mut(end - consumed);
+                out_rest = rest;
+                consumed = end;
+                let fls = &c.fixed_lengths[b0..b1];
+                s.spawn(move || {
+                    decode_blocks(fls, offsets, &c.payload, l, b0, n, c.eb, c.lorenzo, mine)
+                });
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_ref;
+
+    fn wave(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.02).sin() * 40.0 + (i as f32 * 0.11).cos() * 3.0)
+            .collect()
+    }
+
+    fn assert_identical(data: &[f32], eb: f64, cfg: CuszpConfig) {
+        let reference = host_ref::compress(data, eb, cfg);
+        for threads in [1usize, 2, 5] {
+            let fast = compress_threaded(data, eb, cfg, threads);
+            assert_eq!(fast, reference, "compress threads={threads}");
+            let back: Vec<f32> = decompress_threaded(&fast, threads);
+            assert_eq!(
+                back,
+                host_ref::decompress::<f32>(&reference),
+                "decompress threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_identical_to_host_ref() {
+        assert_identical(&wave(5000), 0.01, CuszpConfig::default());
+    }
+
+    #[test]
+    fn tail_blocks_identical() {
+        for n in [1usize, 7, 31, 32, 33, 100, 1023] {
+            assert_identical(&wave(n), 0.005, CuszpConfig::default());
+        }
+    }
+
+    #[test]
+    fn no_lorenzo_identical() {
+        let cfg = CuszpConfig {
+            lorenzo: false,
+            ..Default::default()
+        };
+        assert_identical(&wave(777), 0.02, cfg);
+    }
+
+    #[test]
+    fn block_len_variants_identical() {
+        for l in [8usize, 16, 64, 128] {
+            let cfg = CuszpConfig {
+                block_len: l,
+                lorenzo: true,
+            };
+            assert_identical(&wave(530), 0.01, cfg);
+        }
+    }
+
+    #[test]
+    fn spans_many_tiles_identical() {
+        // > TILE_ELEMS elements so tiling boundaries are exercised.
+        assert_identical(&wave(3 * TILE_ELEMS + 17), 0.01, CuszpConfig::default());
+    }
+
+    #[test]
+    fn wide_residuals_identical() {
+        // Large magnitudes + tiny bound pushes F past one 8-plane chunk.
+        let data: Vec<f32> = (0..640).map(|i| (i as f32 * 0.37).sin() * 3.0e7).collect();
+        assert_identical(&data, 1e-4, CuszpConfig::default());
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = compress::<f32>(&[], 0.1, CuszpConfig::default());
+        assert_eq!(c.num_blocks(), 0);
+        assert!(decompress::<f32>(&c).is_empty());
+    }
+
+    #[test]
+    fn all_zero_blocks() {
+        let data = vec![0.0f32; 256];
+        let c = compress(&data, 0.001, CuszpConfig::default());
+        assert!(c.payload.is_empty());
+        assert_eq!(decompress::<f32>(&c), data);
+    }
+
+    #[test]
+    fn f64_identical() {
+        let data: Vec<f64> = (0..900).map(|i| (i as f64 * 0.013).sin() * 1e5).collect();
+        let reference = host_ref::compress(&data, 0.5, CuszpConfig::default());
+        let fast = compress_threaded(&data, 0.5, CuszpConfig::default(), 3);
+        assert_eq!(fast, reference);
+        let back: Vec<f64> = decompress_threaded(&fast, 3);
+        assert_eq!(back, host_ref::decompress::<f64>(&reference));
+    }
+
+    #[test]
+    fn auto_thread_count_works() {
+        let data = wave(2048);
+        let c = compress_threaded(&data, 0.01, CuszpConfig::default(), 0);
+        assert_eq!(c, host_ref::compress(&data, 0.01, CuszpConfig::default()));
+        let back: Vec<f32> = decompress_threaded(&c, 0);
+        assert_eq!(back, host_ref::decompress::<f32>(&c));
+    }
+
+    #[test]
+    fn block32_codec_matches_generic() {
+        if !simd::block32_available() {
+            return; // vector block codec not usable on this host
+        }
+        // Deterministic pseudo-random residuals exercising every f,
+        // signs, zeros, and the exact 2^f−1 magnitude boundaries.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for f in 1u8..=16 {
+            for trial in 0..50 {
+                let top = (1u64 << f) - 1;
+                let resid: Vec<i64> = (0..32)
+                    .map(|i| {
+                        let mag = if trial == 0 && i < 4 {
+                            top
+                        } else {
+                            rng() & top
+                        };
+                        let v = mag as i64;
+                        if rng() & 1 == 0 {
+                            -v
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                let cmp = cmp_bytes_for(f, 32) as usize;
+                let mut want = vec![0u8; cmp];
+                encode_block(&resid, f, &mut want);
+                let mut got = vec![0u8; cmp];
+                simd::encode_block32(&resid, f, &mut got);
+                assert_eq!(got, want, "encode f={f} trial={trial}");
+
+                for lorenzo in [false, true] {
+                    let mut q_want = vec![0i64; 32];
+                    decode_block(&want, f, lorenzo, 32, &mut q_want);
+                    let mut q_got = vec![0i64; 32];
+                    simd::decode_block32(&want, f, lorenzo, &mut q_got);
+                    assert_eq!(q_got, q_want, "decode f={f} lorenzo={lorenzo}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_blocks() {
+        let data = wave(40); // 2 blocks
+        assert_identical(&data, 0.01, CuszpConfig::default());
+        let c = compress_threaded(&data, 0.01, CuszpConfig::default(), 16);
+        assert_eq!(c, host_ref::compress(&data, 0.01, CuszpConfig::default()));
+    }
+}

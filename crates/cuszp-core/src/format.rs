@@ -153,7 +153,11 @@ impl Compressed {
         })
     }
 
-    /// Cheap structural sanity check: payload length matches Eq 2.
+    /// Cheap structural sanity check: payload length matches Eq 2
+    /// **exactly** — neither truncated nor overlong. The fast decoder
+    /// ([`crate::fast`]) preallocates its output and slices the payload
+    /// at Eq-2 offsets without further bounds checks, so an overlong
+    /// payload must be rejected here, not tolerated.
     pub fn validate(&self) -> Result<(), FormatError> {
         CuszpConfig {
             block_len: self.block_len as usize,
@@ -247,5 +251,17 @@ mod tests {
         let mut c = sample();
         c.payload.pop();
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overlong_payload() {
+        // Regression: the length check must be exact, not a lower bound —
+        // the fast decoder's preallocated writes rely on it.
+        let mut c = sample();
+        c.payload.push(0xFF);
+        assert_eq!(
+            c.validate(),
+            Err(FormatError::Corrupt("payload size vs Eq 2"))
+        );
     }
 }

@@ -113,8 +113,11 @@ pub fn compress_kernel<T: FloatData>(
     let tiles = num_blocks.div_ceil(BLOCKS_PER_TILE).max(1);
 
     let fixed_lengths = gpu.alloc::<u8>(num_blocks);
-    // Worst case per block: F = 64 ⇒ (64+1)·L/8 payload bytes.
-    let payload = gpu.alloc::<u8>(num_blocks * 65 * l / 8);
+    // Worst case per block is dtype-bounded: `(max_F + 1)·L/8` payload
+    // bytes — 34·L/8 for f32 rather than the 65·L/8 f64 ceiling, halving
+    // device memory pressure for single-precision streams.
+    let max_f = T::DTYPE.max_fixed_len() as usize;
+    let payload = gpu.alloc::<u8>(num_blocks * (max_f + 1) * l / 8);
     let scan = ScanState::new(tiles);
     let total = DeviceAtomics::zeroed(1);
     let lorenzo = cfg.lorenzo;
@@ -144,7 +147,7 @@ pub fn compress_kernel<T: FloatData>(
                 let idx = start + k;
                 if idx < end {
                     let q = quantize(inp.get(idx), eb);
-                    *r = if lorenzo { q - prev } else { q };
+                    *r = if lorenzo { q.wrapping_sub(prev) } else { q };
                     if lorenzo {
                         prev = q;
                     }
@@ -155,6 +158,14 @@ pub fn compress_kernel<T: FloatData>(
             elems_loaded += end - start;
 
             let plan = plan_block(resid, l);
+            assert!(
+                plan.fixed_len as usize <= max_f,
+                "block {b}: fixed length {} exceeds the {:?} cap of {max_f} \
+                 bits — the bound is far below the data's representable \
+                 precision",
+                plan.fixed_len,
+                T::DTYPE,
+            );
             lane_f[lane] = plan.fixed_len;
             lane_cmp[lane] = plan.cmp_bytes as u64;
             fl.set(b, plan.fixed_len);
@@ -338,9 +349,9 @@ pub fn decompress_kernel<T: FloatData>(gpu: &mut Gpu, c: &DeviceCompressed) -> D
             for k in 0..l {
                 let neg = pay.get(sign_base + k / 8) & (1 << (k % 8)) != 0;
                 let v = abs_vals[k] as i64;
-                let resid = if neg { -v } else { v };
+                let resid = if neg { v.wrapping_neg() } else { v };
                 let q = if lorenzo {
-                    acc += resid;
+                    acc = acc.wrapping_add(resid);
                     acc
                 } else {
                     resid
@@ -493,6 +504,26 @@ mod tests {
         compress_kernel(&mut gpu, &sparse_buf, 0.001, CuszpConfig::default());
         let t_sparse = gpu.timeline().gpu_time();
         assert!(t_sparse < t_dense, "sparse {t_sparse} !< dense {t_dense}");
+    }
+
+    #[test]
+    fn payload_allocation_is_dtype_bounded() {
+        let data = wave(4096);
+        let num_blocks = 4096 / 32;
+        let mut gpu = gpu();
+        let input = gpu.h2d(&data);
+        let dc = compress_kernel(&mut gpu, &input, 0.01, CuszpConfig::default());
+        // f32: (33+1)·L/8 bytes per block, not the f64 worst case.
+        assert_eq!(dc.payload.len(), num_blocks * 34 * 32 / 8);
+
+        let data64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        let input64 = gpu.h2d(&data64);
+        let dc64 = compress_kernel(&mut gpu, &input64, 0.01, CuszpConfig::default());
+        assert_eq!(dc64.payload.len(), num_blocks * 65 * 32 / 8);
+        // Same stream bytes either way — only the allocation differs.
+        let host32 = dc.to_host(&mut gpu);
+        let host64 = dc64.to_host(&mut gpu);
+        assert_eq!(host32.payload.len(), host64.payload.len());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! Both directions run as **one fused kernel** on the `gpu-sim` substrate
 //! ([`kernels::compress_kernel`] / [`kernels::decompress_kernel`]); a
 //! sequential reference codec ([`host_ref`]) produces byte-identical
-//! streams and anchors the property tests.
+//! streams and anchors the property tests. The [`Cuszp`] host API routes
+//! through [`fast`], an optimized word-parallel codec that is
+//! byte-identical to `host_ref` but restructured as the GPU kernel's
+//! two-phase size-scan-then-write layout, with opt-in multithreading.
 //!
 //! ## Quick start
 //!
@@ -41,10 +44,12 @@ pub mod chunked;
 pub mod config;
 pub mod dtype;
 pub mod encode;
+pub mod fast;
 pub mod format;
 pub mod host_ref;
 pub mod kernels;
 pub mod quantize;
+pub mod simd;
 pub mod verify;
 
 pub use archive::{Archive, Entry};
@@ -60,18 +65,26 @@ pub use kernels::{
 use gpu_sim::{DeviceBuffer, Gpu};
 
 /// Value range (max − min) of a dataset — the REL bound denominator.
+///
+/// Non-finite values (NaN, ±∞) are **skipped**: a single stray infinity
+/// would otherwise make the range infinite and a REL bound unresolvable,
+/// surfacing as a confusing "bound must be positive" panic far from the
+/// cause. A dataset with no finite values has range `0.0` (like an empty
+/// one), which [`ErrorBound::absolute`] rejects with a clear message.
 pub fn value_range<T: FloatData>(data: &[T]) -> f64 {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for &v in data {
         let v = v.to_f64();
-        lo = lo.min(v);
-        hi = hi.max(v);
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
     }
-    if data.is_empty() {
-        0.0
-    } else {
+    if hi >= lo {
         hi - lo
+    } else {
+        0.0 // empty, or no finite values
     }
 }
 
@@ -117,16 +130,38 @@ impl Cuszp {
         }
     }
 
-    /// Compress on the host (sequential reference codec). Accepts `f32`
-    /// or `f64` data; the stream records which.
+    /// Compress on the host via the optimized word-parallel codec
+    /// ([`fast`]), byte-identical to the sequential reference
+    /// ([`host_ref`]). Accepts `f32` or `f64` data; the stream records
+    /// which.
     pub fn compress<T: FloatData>(&self, data: &[T], bound: ErrorBound) -> Compressed {
         let eb = self.resolve_bound(data, bound);
-        host_ref::compress(data, eb, self.config)
+        fast::compress(data, eb, self.config)
+    }
+
+    /// Compress on the host with `threads` workers (`0` ⇒ host
+    /// parallelism). Bit-identical to [`Cuszp::compress`] by
+    /// construction — workers write disjoint ranges at offsets fixed by
+    /// the size prefix sum.
+    pub fn compress_threaded<T: FloatData>(
+        &self,
+        data: &[T],
+        bound: ErrorBound,
+        threads: usize,
+    ) -> Compressed {
+        let eb = self.resolve_bound(data, bound);
+        fast::compress_threaded(data, eb, self.config, threads)
     }
 
     /// Decompress on the host to the stream's element type.
     pub fn decompress<T: FloatData>(&self, c: &Compressed) -> Vec<T> {
-        host_ref::decompress(c)
+        fast::decompress(c)
+    }
+
+    /// Decompress on the host with `threads` workers (`0` ⇒ host
+    /// parallelism). Identical output for every thread count.
+    pub fn decompress_threaded<T: FloatData>(&self, c: &Compressed, threads: usize) -> Vec<T> {
+        fast::decompress_threaded(c, threads)
     }
 
     /// Compress `data` as a [`ChunkedCompressed`] container of
@@ -151,7 +186,7 @@ impl Cuszp {
         ChunkedCompressed {
             chunks: data
                 .chunks(chunk_elems)
-                .map(|c| host_ref::compress(c, eb, self.config))
+                .map(|c| fast::compress(c, eb, self.config))
                 .collect(),
         }
     }
@@ -160,7 +195,7 @@ impl Cuszp {
     pub fn decompress_chunked<T: FloatData>(&self, c: &ChunkedCompressed) -> Vec<T> {
         let mut out = Vec::with_capacity(c.total_elements() as usize);
         for chunk in &c.chunks {
-            out.extend(host_ref::decompress::<T>(chunk));
+            out.extend(fast::decompress::<T>(chunk));
         }
         out
     }
@@ -194,6 +229,28 @@ mod tests {
         assert_eq!(value_range(&[1.0, -2.0, 5.0]), 7.0);
         assert_eq!(value_range::<f32>(&[]), 0.0);
         assert_eq!(value_range(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn value_range_skips_non_finite() {
+        assert_eq!(value_range(&[1.0, f64::NAN, 5.0]), 4.0);
+        assert_eq!(value_range(&[1.0, f64::INFINITY, 5.0]), 4.0);
+        assert_eq!(value_range(&[f64::NEG_INFINITY, 1.0, 5.0]), 4.0);
+        assert_eq!(value_range(&[f32::NAN, f32::NAN]), 0.0);
+        assert_eq!(value_range(&[f64::INFINITY, f64::NEG_INFINITY]), 0.0);
+    }
+
+    #[test]
+    fn rel_bound_with_stray_nan_resolves_from_finite_values() {
+        let codec = Cuszp::new();
+        let data = vec![0.0f32, f32::NAN, 10.0];
+        assert!((codec.resolve_bound(&data, ErrorBound::Rel(1e-2)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "value range")]
+    fn rel_bound_on_all_nan_data_panics_clearly() {
+        Cuszp::new().resolve_bound(&[f32::NAN, f32::NAN], ErrorBound::Rel(1e-2));
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub fn quantize_block<T: FloatData>(block: &[T], eb: f64, lorenzo: bool, out: &m
     let mut prev = 0i64;
     for (i, &d) in block.iter().enumerate() {
         let r = quantize(d, eb);
-        out[i] = if lorenzo { r - prev } else { r };
+        // Wrapping: saturated integers from non-finite inputs must not
+        // abort in debug builds; release semantics are unchanged.
+        out[i] = if lorenzo { r.wrapping_sub(prev) } else { r };
         if lorenzo {
             prev = r;
         }
@@ -40,7 +42,7 @@ pub fn reconstruct_block<T: FloatData>(residuals: &[i64], eb: f64, lorenzo: bool
     let mut acc = 0i64;
     for (i, &l) in residuals.iter().enumerate() {
         let r = if lorenzo {
-            acc += l;
+            acc = acc.wrapping_add(l);
             acc
         } else {
             l

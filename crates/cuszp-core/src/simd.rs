@@ -1,0 +1,551 @@
+//! Batch quantize/dequantize — the arithmetic hot loops of the host
+//! codec, with a runtime-detected AVX-512 path.
+//!
+//! The scalar quantizer (`(d / 2eb).round() as i64`) spends most of its
+//! time in `f64::round` (round **half away from zero** has no direct x86
+//! instruction) and in the saturating float→int cast. The vector path
+//! reproduces both **bit-exactly**:
+//!
+//! - *Rounding*: `t = trunc(x)`, `r = x − t` (exact — Sterbenz for
+//!   `|t| ≥ 1`, trivially exact for `t = 0` or integral `x`), add
+//!   `copysign(1, x)` where `|r| ≥ 0.5`. Branch-free, one lane step, and
+//!   exactly round-half-away-from-zero including the `x = 0.49999…94`
+//!   cases the classic `trunc(x + 0.5)` trick gets wrong.
+//! - *Saturation*: `vcvtpd2qq` yields `i64::MIN` for negative overflow
+//!   (matching Rust's `as i64`) but also for positive overflow and NaN;
+//!   two masked fix-ups restore `i64::MAX` / `0` for those lanes.
+//!
+//! Every public function here is a drop-in for the scalar loop it
+//! replaces: same outputs for every input, only faster. The differential
+//! suites (`fast` unit tests, `tests/fast_vs_ref.rs`) pin this down
+//! against [`crate::host_ref`], which still runs the scalar forms.
+
+use crate::dtype::{DType, FloatData};
+use crate::quantize::{dequantize, quantize};
+
+/// Whether the AVX-512 paths are usable on this host (F: arithmetic and
+/// masks; DQ: the `f64`↔`i64` vector converts). `is_x86_feature_detected!`
+/// caches, so calling this per tile is free.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+}
+
+/// Quantize `block` and apply the Lorenzo transform (`r₋₁ = 0` at the
+/// block start), writing residuals into `resid[..block.len()]`. Returns
+/// the maximum `unsigned_abs` over the residuals written.
+///
+/// Bit-identical to [`crate::quantize::quantize_block`] plus a max scan.
+pub fn quantize_lorenzo_block<T: FloatData>(
+    block: &[T],
+    eb: f64,
+    lorenzo: bool,
+    resid: &mut [i64],
+) -> u64 {
+    debug_assert!(resid.len() >= block.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx512() {
+        // SAFETY: FloatData is sealed, so T::DTYPE faithfully tags the
+        // element type; the features were detected above.
+        unsafe {
+            return match T::DTYPE {
+                DType::F32 => avx512_impl::quantize_lorenzo_f32(
+                    std::slice::from_raw_parts(block.as_ptr().cast::<f32>(), block.len()),
+                    eb,
+                    lorenzo,
+                    resid,
+                ),
+                DType::F64 => avx512_impl::quantize_lorenzo_f64(
+                    std::slice::from_raw_parts(block.as_ptr().cast::<f64>(), block.len()),
+                    eb,
+                    lorenzo,
+                    resid,
+                ),
+            };
+        }
+    }
+    quantize_lorenzo_scalar(block, eb, lorenzo, resid, 0)
+}
+
+/// Scalar form of [`quantize_lorenzo_block`], starting from predecessor
+/// `prev` (the vector path uses it for tails mid-block).
+fn quantize_lorenzo_scalar<T: FloatData>(
+    block: &[T],
+    eb: f64,
+    lorenzo: bool,
+    resid: &mut [i64],
+    prev: i64,
+) -> u64 {
+    let mut prev = prev;
+    let mut max_abs = 0u64;
+    for (dst, &d) in resid.iter_mut().zip(block) {
+        let q = quantize(d, eb);
+        let v = if lorenzo { q.wrapping_sub(prev) } else { q };
+        if lorenzo {
+            prev = q;
+        }
+        max_abs = max_abs.max(v.unsigned_abs());
+        *dst = v;
+    }
+    max_abs
+}
+
+/// Quantize + Lorenzo a run of whole blocks: `data` covers blocks of
+/// length `l` (the last may be partial), `resid` holds `max_abs.len() · l`
+/// residuals (tail block zero-padded), and `max_abs[b]` receives block
+/// `b`'s maximum residual magnitude. One feature dispatch for the whole
+/// run; the Lorenzo predecessor resets at every block boundary.
+pub fn quantize_blocks<T: FloatData>(
+    data: &[T],
+    l: usize,
+    eb: f64,
+    lorenzo: bool,
+    resid: &mut [i64],
+    max_abs: &mut [u64],
+) {
+    debug_assert_eq!(resid.len(), max_abs.len() * l);
+    debug_assert!(data.len() <= resid.len());
+    let n = data.len();
+    for (b, m) in max_abs.iter_mut().enumerate() {
+        let start = b * l;
+        let end = (start + l).min(n);
+        let r = &mut resid[start..start + l];
+        *m = quantize_lorenzo_block(&data[start..end], eb, lorenzo, r);
+        for pad in r[end - start..].iter_mut() {
+            *pad = 0; // tail padding lives in the residual domain
+        }
+    }
+}
+
+/// Dequantize `q[..]` into `out[..]` (`out[i] = qᵢ · 2eb`, narrowed to
+/// `T`). Bit-identical to a loop of [`crate::quantize::dequantize`].
+pub fn dequantize_slice<T: FloatData>(q: &[i64], eb: f64, out: &mut [T]) {
+    debug_assert!(q.len() >= out.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx512() {
+        // SAFETY: as in `quantize_lorenzo_block`.
+        unsafe {
+            match T::DTYPE {
+                DType::F32 => avx512_impl::dequantize_f32(
+                    q,
+                    eb,
+                    std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<f32>(), out.len()),
+                ),
+                DType::F64 => avx512_impl::dequantize_f64(
+                    q,
+                    eb,
+                    std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<f64>(), out.len()),
+                ),
+            }
+            return;
+        }
+    }
+    for (dst, &r) in out.iter_mut().zip(q) {
+        *dst = dequantize(r, eb);
+    }
+}
+
+/// Whether the specialized 32-element block codec
+/// ([`encode_block32`]/[`decode_block32`]) is usable: it additionally
+/// needs BW (512-bit byte masks) and VBMI (`vpermb`, the cross-lane byte
+/// permute that does a whole 8×8 byte transpose in one instruction).
+pub fn block32_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx512()
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vbmi")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Encode one `L = 32` block (sign map + `f ≤ 16` bit planes, Fig 11
+/// layout) from `resid[..32]` into `out[..4 + 4f]` — the whole
+/// transposition runs as three 512-bit permutes plus one in-register bit
+/// transpose. Byte-identical to the generic path.
+///
+/// # Panics
+/// Debug-asserts availability and the `L`/`f` preconditions; call only
+/// when [`block32_available`] and `1 ≤ f ≤ 16`.
+pub fn encode_block32(resid: &[i64], f: u8, out: &mut [u8]) {
+    debug_assert!(block32_available() && resid.len() == 32 && (1..=16).contains(&f));
+    debug_assert!(out.len() == 4 + 4 * f as usize);
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: features checked by the caller via `block32_available`.
+    unsafe {
+        avx512_impl::encode_block32(resid, f, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("block32 codec gated by block32_available()");
+}
+
+/// Inverse of [`encode_block32`]: decode payload bytes into the block's
+/// 32 quantization integers (signs applied, Lorenzo prefix-summed when
+/// `lorenzo`). Same preconditions.
+pub fn decode_block32(payload: &[u8], f: u8, lorenzo: bool, q: &mut [i64]) {
+    debug_assert!(block32_available() && q.len() == 32 && (1..=16).contains(&f));
+    debug_assert!(payload.len() == 4 + 4 * f as usize);
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: features checked by the caller via `block32_available`.
+    unsafe {
+        avx512_impl::decode_block32(payload, f, lorenzo, q)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("block32 codec gated by block32_available()");
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512_impl {
+    use super::quantize_lorenzo_scalar;
+    use std::arch::x86_64::*;
+
+    /// Byte-transpose permutation for `vpermb`: byte `8t + i` reads byte
+    /// `8i + t` (its own inverse).
+    const BT_IDX: [u8; 64] = {
+        let mut idx = [0u8; 64];
+        let mut j = 0;
+        while j < 64 {
+            idx[j] = (((j & 7) << 3) | (j >> 3)) as u8;
+            j += 1;
+        }
+        idx
+    };
+
+    /// Encode-side final permute: plane-layout byte `m = 4k + g`
+    /// (plane `k = 8t + c`, group `g`) reads transposed byte
+    /// `32t + 8g + c`.
+    const ENC_PLANES_IDX: [u8; 64] = {
+        let mut idx = [0u8; 64];
+        let mut m = 0;
+        while m < 64 {
+            let (t, c, g) = (m >> 5, (m >> 2) & 7, m & 3);
+            idx[m] = (32 * t + 8 * g + c) as u8;
+            m += 1;
+        }
+        idx
+    };
+
+    /// Decode-side inverse: transposed byte `j = 32t + 8g + c` reads
+    /// plane-layout byte `32t + 4c + g`.
+    const DEC_PLANES_IDX: [u8; 64] = {
+        let mut idx = [0u8; 64];
+        let mut j = 0;
+        while j < 64 {
+            let (t, g, c) = (j >> 5, (j >> 3) & 3, j & 7);
+            idx[j] = (32 * t + 4 * c + g) as u8;
+            j += 1;
+        }
+        idx
+    };
+
+    /// Eight independent 8×8 bit-matrix transposes, one per qword lane —
+    /// `transpose8x8`'s three masked delta-swaps lifted to 512 bits.
+    ///
+    /// # Safety
+    /// Requires `avx512f`.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn transpose8x8_x8(mut z: __m512i) -> __m512i {
+        let m1 = _mm512_set1_epi64(0x00AA_00AA_00AA_00AAu64 as i64);
+        let t = _mm512_and_si512(_mm512_xor_si512(z, _mm512_srli_epi64(z, 7)), m1);
+        z = _mm512_xor_si512(z, _mm512_xor_si512(t, _mm512_slli_epi64(t, 7)));
+        let m2 = _mm512_set1_epi64(0x0000_CCCC_0000_CCCCu64 as i64);
+        let t = _mm512_and_si512(_mm512_xor_si512(z, _mm512_srli_epi64(z, 14)), m2);
+        z = _mm512_xor_si512(z, _mm512_xor_si512(t, _mm512_slli_epi64(t, 14)));
+        let m3 = _mm512_set1_epi64(0x0000_0000_F0F0_F0F0u64 as i64);
+        let t = _mm512_and_si512(_mm512_xor_si512(z, _mm512_srli_epi64(z, 28)), m3);
+        _mm512_xor_si512(z, _mm512_xor_si512(t, _mm512_slli_epi64(t, 28)))
+    }
+
+    /// # Safety
+    /// Requires `avx512f`, `avx512dq`, `avx512bw`, `avx512vbmi`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vbmi")]
+    pub unsafe fn encode_block32(resid: &[i64], f: u8, out: &mut [u8]) {
+        let bt = _mm512_loadu_si512(BT_IDX.as_ptr() as *const _);
+        // Per value-group: sign mask straight off the qword sign bits,
+        // then |v| byte-transposed so qword t holds chunk t's 8 bytes.
+        let mut signs = 0u32;
+        let mut limbs = [_mm512_setzero_si512(); 4];
+        for (g, l) in limbs.iter_mut().enumerate() {
+            let v = _mm512_loadu_si512(resid.as_ptr().add(8 * g) as *const _);
+            signs |= (_mm512_movepi64_mask(v) as u32) << (8 * g);
+            *l = _mm512_permutexvar_epi8(bt, _mm512_abs_epi64(v));
+        }
+        out[..4].copy_from_slice(&signs.to_le_bytes());
+        // Merge the four groups' chunk-0/1 qwords into one vector laid
+        // out `[x₀₀ x₀₁ x₀₂ x₀₃ x₁₀ x₁₁ x₁₂ x₁₃]` (x_{chunk, group}).
+        let p01 = _mm512_permutex2var_epi64(
+            limbs[0],
+            _mm512_setr_epi64(0, 8, 0, 0, 1, 9, 0, 0),
+            limbs[1],
+        );
+        let p23 = _mm512_permutex2var_epi64(
+            limbs[2],
+            _mm512_setr_epi64(0, 8, 0, 0, 1, 9, 0, 0),
+            limbs[3],
+        );
+        let z = _mm512_permutex2var_epi64(p01, _mm512_setr_epi64(0, 1, 8, 9, 4, 5, 12, 13), p23);
+        // Eight bit transposes at once, then one byte permute lands every
+        // plane byte at its Fig 11 position; a masked store writes
+        // exactly the 4·f plane bytes.
+        let y = transpose8x8_x8(z);
+        let planes =
+            _mm512_permutexvar_epi8(_mm512_loadu_si512(ENC_PLANES_IDX.as_ptr() as *const _), y);
+        let mask: u64 = if f == 16 { !0 } else { (1u64 << (4 * f)) - 1 };
+        _mm512_mask_storeu_epi8(out.as_mut_ptr().add(4) as *mut _, mask, planes);
+    }
+
+    /// # Safety
+    /// Requires `avx512f`, `avx512dq`, `avx512bw`, `avx512vbmi`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vbmi")]
+    pub unsafe fn decode_block32(payload: &[u8], f: u8, lorenzo: bool, q: &mut [i64]) {
+        let mask: u64 = if f == 16 { !0 } else { (1u64 << (4 * f)) - 1 };
+        // Zero-masked load: absent planes decode as zero magnitude bits.
+        let planes = _mm512_maskz_loadu_epi8(mask, payload.as_ptr().add(4) as *const _);
+        let y = _mm512_permutexvar_epi8(
+            _mm512_loadu_si512(DEC_PLANES_IDX.as_ptr() as *const _),
+            planes,
+        );
+        let z = transpose8x8_x8(y);
+        let signs = u32::from_le_bytes(payload[..4].try_into().expect("sign map"));
+        let bt = _mm512_loadu_si512(BT_IDX.as_ptr() as *const _);
+        let zero = _mm512_setzero_si512();
+        let mut carry = _mm512_setzero_si512();
+        for g in 0..4 {
+            // Split group g's chunk qwords back out, un-transpose bytes,
+            // apply the sign map, then the Lorenzo scan.
+            let idx = _mm512_setr_epi64(g as i64, 4 + g as i64, 8, 8, 8, 8, 8, 8);
+            let limbs = _mm512_permutex2var_epi64(z, idx, zero);
+            let abs = _mm512_permutexvar_epi8(bt, limbs);
+            let smask = ((signs >> (8 * g)) & 0xFF) as u8;
+            let mut v = _mm512_mask_sub_epi64(abs, smask, zero, abs);
+            if lorenzo {
+                // In-lane inclusive scan (three shifted adds) plus the
+                // running carry from the previous group.
+                v = _mm512_add_epi64(v, _mm512_alignr_epi64(v, zero, 7));
+                v = _mm512_add_epi64(v, _mm512_alignr_epi64(v, zero, 6));
+                v = _mm512_add_epi64(v, _mm512_alignr_epi64(v, zero, 4));
+                v = _mm512_add_epi64(v, carry);
+                carry = _mm512_permutexvar_epi64(_mm512_set1_epi64(7), v);
+            }
+            _mm512_storeu_si512(q.as_mut_ptr().add(8 * g) as *mut _, v);
+        }
+    }
+
+    /// `round(x)` (half away from zero) for 8 lanes, then saturating-cast
+    /// to `i64` with Rust `as` semantics.
+    ///
+    /// # Safety
+    /// Requires `avx512f` and `avx512dq`.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    unsafe fn round_to_i64(x: __m512d) -> __m512i {
+        let absmask = _mm512_castsi512_pd(_mm512_set1_epi64(0x7FFF_FFFF_FFFF_FFFFu64 as i64));
+        let t = _mm512_roundscale_pd(x, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+        let r = _mm512_sub_pd(x, t); // exact (see module docs)
+        let m = _mm512_cmp_pd_mask(_mm512_and_pd(r, absmask), _mm512_set1_pd(0.5), _CMP_GE_OQ);
+        let adj = _mm512_or_pd(_mm512_set1_pd(1.0), _mm512_andnot_pd(absmask, x));
+        let rounded = _mm512_mask_add_pd(t, m, t, adj);
+        let q = _mm512_cvt_roundpd_epi64(rounded, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+        // `as i64` saturation: +overflow → MAX (the convert already gives
+        // MIN for −overflow), NaN → 0.
+        let m_pos = _mm512_cmp_pd_mask(
+            rounded,
+            _mm512_set1_pd(9.223_372_036_854_776e18),
+            _CMP_GE_OQ,
+        );
+        let m_nan = _mm512_cmp_pd_mask(rounded, rounded, _CMP_UNORD_Q);
+        let q = _mm512_mask_mov_epi64(q, m_pos, _mm512_set1_epi64(i64::MAX));
+        _mm512_mask_mov_epi64(q, m_nan, _mm512_setzero_si512())
+    }
+
+    macro_rules! quantize_lorenzo {
+        ($name:ident, $elem:ty, $load:expr) => {
+            /// # Safety
+            /// Requires `avx512f` and `avx512dq`.
+            #[target_feature(enable = "avx512f,avx512dq")]
+            pub unsafe fn $name(block: &[$elem], eb: f64, lorenzo: bool, resid: &mut [i64]) -> u64 {
+                let n = block.len();
+                let veb = _mm512_set1_pd(2.0 * eb);
+                let mut maxv = _mm512_setzero_si512();
+                // Previous vector of quantization integers, for the
+                // cross-lane Lorenzo shift; lane 7 seeds the next step.
+                let mut prevv = _mm512_setzero_si512();
+                let mut i = 0;
+                while i + 8 <= n {
+                    #[allow(clippy::redundant_closure_call)]
+                    let x = _mm512_div_pd(($load)(block.as_ptr().add(i)), veb);
+                    let q = round_to_i64(x);
+                    let v = if lorenzo {
+                        // [prev₇, q₀ … q₆] — the predecessor of each lane.
+                        let shifted = _mm512_alignr_epi64(q, prevv, 7);
+                        prevv = q;
+                        _mm512_sub_epi64(q, shifted)
+                    } else {
+                        q
+                    };
+                    maxv = _mm512_max_epu64(maxv, _mm512_abs_epi64(v));
+                    _mm512_storeu_si512(resid.as_mut_ptr().add(i) as *mut _, v);
+                    i += 8;
+                }
+                let mut max_abs = _mm512_reduce_max_epu64(maxv) as u64;
+                if i < n {
+                    // Scalar tail, seeded with the last vector lane's q.
+                    let mut lanes = [0i64; 8];
+                    _mm512_storeu_si512(lanes.as_mut_ptr() as *mut _, prevv);
+                    let tail_max = quantize_lorenzo_scalar(
+                        &block[i..],
+                        eb,
+                        lorenzo,
+                        &mut resid[i..n],
+                        if i == 0 { 0 } else { lanes[7] },
+                    );
+                    max_abs = max_abs.max(tail_max);
+                }
+                max_abs
+            }
+        };
+    }
+
+    quantize_lorenzo!(quantize_lorenzo_f32, f32, |p: *const f32| {
+        _mm512_cvtps_pd(_mm256_loadu_ps(p))
+    });
+    quantize_lorenzo!(quantize_lorenzo_f64, f64, |p: *const f64| {
+        _mm512_loadu_pd(p)
+    });
+
+    /// # Safety
+    /// Requires `avx512f` and `avx512dq`.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub unsafe fn dequantize_f32(q: &[i64], eb: f64, out: &mut [f32]) {
+        let n = out.len();
+        let veb = _mm512_set1_pd(2.0 * eb);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm512_loadu_si512(q.as_ptr().add(i) as *const _);
+            let d = _mm512_mul_pd(_mm512_cvtepi64_pd(v), veb);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm512_cvtpd_ps(d));
+            i += 8;
+        }
+        for k in i..n {
+            out[k] = (q[k] as f64 * 2.0 * eb) as f32;
+        }
+    }
+
+    /// # Safety
+    /// Requires `avx512f` and `avx512dq`.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub unsafe fn dequantize_f64(q: &[i64], eb: f64, out: &mut [f64]) {
+        let n = out.len();
+        let veb = _mm512_set1_pd(2.0 * eb);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm512_loadu_si512(q.as_ptr().add(i) as *const _);
+            _mm512_storeu_pd(
+                out.as_mut_ptr().add(i),
+                _mm512_mul_pd(_mm512_cvtepi64_pd(v), veb),
+            );
+            i += 8;
+        }
+        for k in i..n {
+            out[k] = q[k] as f64 * 2.0 * eb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Awkward inputs for round-half-away + saturation: exact ties, the
+    /// largest double below 0.5 (scaled), infinities, NaN, overflow.
+    fn nasty_f64() -> Vec<f64> {
+        let mut v = vec![
+            0.0,
+            -0.0,
+            0.01,
+            -0.01,
+            0.03,
+            -0.03,
+            0.05,
+            0.009_999_999_999_999_998,
+            -0.009_999_999_999_999_998,
+            1e30,
+            -1e30,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            123.456,
+            -987.654,
+            1e17,
+            -1e17,
+            f64::MAX,
+            f64::MIN,
+        ];
+        // A dense sweep so every vector lane position sees varied data.
+        for i in 0..200 {
+            v.push((i as f64 - 100.0) * 0.007_3);
+        }
+        v
+    }
+
+    #[test]
+    fn quantize_matches_scalar_f64() {
+        let data = nasty_f64();
+        for lorenzo in [false, true] {
+            let mut fast = vec![0i64; data.len()];
+            let got = quantize_lorenzo_block(&data, 0.01, lorenzo, &mut fast);
+            let mut want = vec![0i64; data.len()];
+            let want_max = quantize_lorenzo_scalar(&data, 0.01, lorenzo, &mut want, 0);
+            assert_eq!(fast, want, "lorenzo={lorenzo}");
+            assert_eq!(got, want_max);
+        }
+    }
+
+    #[test]
+    fn quantize_matches_scalar_f32() {
+        let data: Vec<f32> = nasty_f64().into_iter().map(|v| v as f32).collect();
+        for lorenzo in [false, true] {
+            for len in [0, 1, 7, 8, 9, 16, 31, data.len()] {
+                let block = &data[..len];
+                let mut fast = vec![0i64; len];
+                let got = quantize_lorenzo_block(block, 0.05, lorenzo, &mut fast);
+                let mut want = vec![0i64; len];
+                let want_max = quantize_lorenzo_scalar(block, 0.05, lorenzo, &mut want, 0);
+                assert_eq!(fast, want, "lorenzo={lorenzo} len={len}");
+                assert_eq!(got, want_max, "lorenzo={lorenzo} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn dequantize_matches_scalar() {
+        let q: Vec<i64> = vec![0, 1, -1, 7, -13, 1 << 40, -(1 << 52), i64::MAX, i64::MIN]
+            .into_iter()
+            .chain((0..100).map(|i| i * 37 - 1850))
+            .collect();
+        let mut f32s = vec![0.0f32; q.len()];
+        dequantize_slice(&q, 0.01, &mut f32s);
+        let mut f64s = vec![0.0f64; q.len()];
+        dequantize_slice(&q, 0.01, &mut f64s);
+        for (i, &r) in q.iter().enumerate() {
+            assert_eq!(f32s[i], dequantize::<f32>(r, 0.01), "f32 at {i}");
+            assert_eq!(f64s[i], dequantize::<f64>(r, 0.01), "f64 at {i}");
+        }
+    }
+
+    #[test]
+    fn tie_rounds_away_from_zero() {
+        // 2eb = 0.5 exactly, so d = ±0.75 / ±1.25 are exact ±x.5 ties;
+        // round half AWAY from zero (not to even) must come out.
+        let data = [0.75f64, -0.75, 1.25, -1.25, 0.25, -0.25, 0.0, 0.0];
+        let mut out = [0i64; 8];
+        quantize_lorenzo_block(&data, 0.25, false, &mut out);
+        assert_eq!(&out[..6], &[2, -2, 3, -3, 1, -1]);
+    }
+}

@@ -34,7 +34,7 @@
 //! assert!(batch.stats.ratio > 1.0);
 //! ```
 
-use cuszp_core::{host_ref, ChunkedCompressed, Compressed, CuszpConfig, ErrorBound, FloatData};
+use cuszp_core::{fast, ChunkedCompressed, Compressed, CuszpConfig, ErrorBound, FloatData};
 use gpu_sim::{DeviceSpec, Gpu};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -307,7 +307,10 @@ fn worker_loop<T: FloatData>(
                 let input = gpu.h2d(slice);
                 cuszp_core::compress_kernel(gpu, &input, job.eb, codec).to_host(gpu)
             }
-            None => host_ref::compress(slice, job.eb, codec),
+            // Workers are already parallel across chunks, so each runs
+            // the fast codec single-threaded (byte-identical to the
+            // host_ref oracle either way).
+            None => fast::compress(slice, job.eb, codec),
         };
         stats.chunks += 1;
         stats.bytes_in += std::mem::size_of_val(slice) as u64;

@@ -1,0 +1,218 @@
+//! Host codec throughput trajectory — `host_ref` vs the word-parallel
+//! two-phase [`cuszp_core::fast`] codec.
+//!
+//! Not a paper figure: the paper's throughput story is about the GPU
+//! kernels, but every `cuszp-pipeline` worker and every chunked
+//! compression executes the *host* codec, so its real wall-clock speed is
+//! what the repo's end-to-end numbers rest on. This experiment measures
+//! compress/decompress GB/s for both codecs × {f32, f64} × {dense,
+//! sparse} corpora and records the result as `BENCH_host_codec.json` at
+//! the repository root — the first point of a perf trajectory future PRs
+//! are judged against. Target (ISSUE 3): ≥5× single-thread speedup in
+//! both directions on the dense f32 corpus.
+
+use super::Ctx;
+use crate::report::{f2, Report};
+use cuszp_core::{fast, host_ref, CuszpConfig, FloatData};
+use datasets::Scale;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Element type ("f32" / "f64").
+    pub dtype: String,
+    /// Corpus ("dense" / "sparse").
+    pub corpus: String,
+    /// Direction ("compress" / "decompress").
+    pub direction: String,
+    /// `host_ref` throughput, GB/s of uncompressed data.
+    pub ref_gbps: f64,
+    /// Single-thread fast-codec throughput, GB/s.
+    pub fast_gbps: f64,
+    /// `fast_gbps / ref_gbps`.
+    pub speedup: f64,
+    /// Fast codec with `available_parallelism` workers, GB/s.
+    pub fast_mt_gbps: f64,
+    /// Compression ratio of the corpus (context for the rates).
+    pub ratio: f64,
+}
+
+/// The checked-in benchmark artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchFile {
+    /// Artifact schema tag.
+    pub experiment: String,
+    /// Elements per corpus.
+    pub elements: usize,
+    /// Host threads used for the `fast_mt` rows.
+    pub threads: usize,
+    /// All measured rows.
+    pub rows: Vec<Row>,
+    /// ISSUE 3 acceptance: dense-f32 single-thread speedups.
+    pub dense_f32_compress_speedup: f64,
+    /// Decompression counterpart.
+    pub dense_f32_decompress_speedup: f64,
+}
+
+/// Smooth two-tone wave — every block non-zero, moderate `F`.
+fn dense<T: FloatData>(n: usize) -> Vec<T> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            T::from_f64((x * 0.02).sin() * 40.0 + (x * 0.11).cos() * 3.0)
+        })
+        .collect()
+}
+
+/// Same signal with three of every four 1 Ki-element stripes zeroed —
+/// mostly zero blocks, the workload where skipping payload work pays.
+fn sparse<T: FloatData>(n: usize) -> Vec<T> {
+    dense::<T>(n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if (i >> 10) % 4 == 0 {
+                v
+            } else {
+                T::from_f64(0.0)
+            }
+        })
+        .collect()
+}
+
+/// Best-of-`iters` wall-clock seconds for `f` (after one warmup run).
+fn best_seconds<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure<T: FloatData>(data: &[T], dtype: &str, corpus: &str, iters: usize) -> [Row; 2] {
+    let eb = 0.01;
+    let cfg = CuszpConfig::default();
+    let bytes = std::mem::size_of_val(data) as f64;
+    let gbps = |secs: f64| bytes / secs / 1.0e9;
+
+    let stream = host_ref::compress(data, eb, cfg);
+    let fast_stream = fast::compress(data, eb, cfg);
+    assert_eq!(stream, fast_stream, "fast codec must be byte-identical");
+    let ratio = bytes / stream.stream_bytes() as f64;
+
+    let c_ref = best_seconds(iters, || host_ref::compress(data, eb, cfg));
+    let c_fast = best_seconds(iters, || fast::compress(data, eb, cfg));
+    let c_mt = best_seconds(iters, || fast::compress_threaded(data, eb, cfg, 0));
+    let d_ref = best_seconds(iters, || host_ref::decompress::<T>(&stream));
+    let d_fast = best_seconds(iters, || fast::decompress::<T>(&stream));
+    let d_mt = best_seconds(iters, || fast::decompress_threaded::<T>(&stream, 0));
+
+    let row = |direction: &str, r: f64, f: f64, mt: f64| Row {
+        dtype: dtype.to_string(),
+        corpus: corpus.to_string(),
+        direction: direction.to_string(),
+        ref_gbps: gbps(r),
+        fast_gbps: gbps(f),
+        speedup: r / f,
+        fast_mt_gbps: gbps(mt),
+        ratio,
+    };
+    [
+        row("compress", c_ref, c_fast, c_mt),
+        row("decompress", d_ref, d_fast, d_mt),
+    ]
+}
+
+/// Run the host-codec throughput experiment.
+pub fn run(ctx: &Ctx) {
+    let mut report = Report::new(
+        "host_codec",
+        "Host codec throughput: host_ref vs word-parallel fast codec",
+        &ctx.out_dir,
+    );
+    // Tiny keeps the CI smoke run in seconds; larger scales measure at
+    // working-set sizes where cache effects resemble real fields.
+    let (n, iters) = match ctx.scale {
+        Scale::Tiny => (1 << 16, 3),
+        Scale::Small => (1 << 22, 5),
+        Scale::Medium => (1 << 24, 5),
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    report.line(&format!(
+        "corpus: {n} elements per configuration; best of {iters} runs; {threads} host thread(s)"
+    ));
+
+    let mut rows = Vec::new();
+    rows.extend(measure(&dense::<f32>(n), "f32", "dense", iters));
+    rows.extend(measure(&sparse::<f32>(n), "f32", "sparse", iters));
+    rows.extend(measure(&dense::<f64>(n), "f64", "dense", iters));
+    rows.extend(measure(&sparse::<f64>(n), "f64", "sparse", iters));
+
+    report.table(
+        &[
+            "dtype",
+            "corpus",
+            "dir",
+            "ref GB/s",
+            "fast GB/s",
+            "speedup",
+            "mt GB/s",
+            "ratio",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dtype.clone(),
+                    r.corpus.clone(),
+                    r.direction.clone(),
+                    format!("{:.3}", r.ref_gbps),
+                    format!("{:.3}", r.fast_gbps),
+                    format!("{:.2}x", r.speedup),
+                    format!("{:.3}", r.fast_mt_gbps),
+                    f2(r.ratio),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let pick = |dir: &str| {
+        rows.iter()
+            .find(|r| r.dtype == "f32" && r.corpus == "dense" && r.direction == dir)
+            .map(|r| r.speedup)
+            .unwrap_or(0.0)
+    };
+    let bench = BenchFile {
+        experiment: "host_codec".to_string(),
+        elements: n,
+        threads,
+        rows: rows.clone(),
+        dense_f32_compress_speedup: pick("compress"),
+        dense_f32_decompress_speedup: pick("decompress"),
+    };
+    report.line(&format!(
+        "dense f32 single-thread speedup: {:.2}x compress, {:.2}x decompress (target >=5x)",
+        bench.dense_f32_compress_speedup, bench.dense_f32_decompress_speedup
+    ));
+
+    report.save_json(&rows);
+    report.save_text();
+
+    // The perf-trajectory file lives at the repository root, next to
+    // ROADMAP.md, so successive PRs diff it directly.
+    let root = ctx.out_dir.parent().unwrap_or(std::path::Path::new("."));
+    let path = root.join("BENCH_host_codec.json");
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench file");
+    std::fs::write(&path, json).expect("write BENCH_host_codec.json");
+    report.line(&format!(
+        "benchmark trajectory written to {}",
+        path.display()
+    ));
+}

@@ -15,6 +15,7 @@ pub mod fig20_isosurface;
 pub mod fig21_kernel_breakdown;
 pub mod fig22_time_varying;
 pub mod gpus;
+pub mod host_codec;
 pub mod pipeline_scaling;
 pub mod rate_distortion;
 pub mod table3_ratio;
@@ -126,6 +127,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "pipeline",
             "Batched multi-stream pipeline scaling vs worker count",
             pipeline_scaling::run as Runner,
+        ),
+        (
+            "host_codec",
+            "Host codec throughput: host_ref vs word-parallel fast codec",
+            host_codec::run as Runner,
         ),
         (
             "ablations",
