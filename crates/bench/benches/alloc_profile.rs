@@ -1,0 +1,70 @@
+//! Allocating codec API vs the zero-allocation arena API on small,
+//! repeated payloads — the service shape the `Scratch` arena targets.
+//! The harness experiment `repro alloc_profile` records the same
+//! comparison into `BENCH_alloc_profile.json`; this criterion target
+//! gives the statistically careful local view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuszp_core::{fast, CuszpConfig, Scratch};
+use std::hint::black_box;
+
+fn corpus(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| (i as f32 * 0.023).sin() * 60.0 + (i as f32 * 0.0017).cos() * 9.0)
+        .collect()
+}
+
+fn bench_payload(c: &mut Criterion, kib: usize) {
+    let elems = kib * 1024 / 4;
+    let data = corpus(elems);
+    let eb = 0.01;
+    let cfg = CuszpConfig::default();
+
+    let owned = fast::compress(&data, eb, cfg);
+    let mut scratch = Scratch::new();
+    let mut stream = Vec::new();
+    let mut restored = vec![0f32; elems];
+    fast::compress_into(&mut scratch, &data, eb, cfg, &mut stream);
+    assert_eq!(
+        stream,
+        owned.to_bytes(),
+        "arena stream must be byte-identical"
+    );
+
+    let mut group = c.benchmark_group(format!("alloc_profile_{kib}kib"));
+
+    group.bench_function("compress_alloc", |b| {
+        b.iter(|| black_box(fast::compress(black_box(&data), eb, cfg).to_bytes()))
+    });
+    group.bench_function("compress_arena", |b| {
+        b.iter(|| {
+            fast::compress_into(&mut scratch, black_box(&data), eb, cfg, &mut stream);
+            black_box(stream.len())
+        })
+    });
+    group.bench_function("decompress_alloc", |b| {
+        b.iter(|| {
+            // Seed behavior: fresh buffers and a zeroed output per call.
+            let mut fresh = Scratch::new();
+            let mut v = vec![0f32; elems];
+            fast::decompress_into(black_box(owned.as_ref()), &mut fresh, &mut v);
+            black_box(v.len())
+        })
+    });
+    group.bench_function("decompress_arena", |b| {
+        b.iter(|| {
+            fast::decompress_into(black_box(owned.as_ref()), &mut scratch, &mut restored);
+            black_box(restored[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    for kib in [4, 64, 1024] {
+        bench_payload(c, kib);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,7 +23,8 @@
 //! differ in dtype, block length, and bound — a container can hold a
 //! whole batch of unrelated fields.
 
-use crate::format::{Compressed, FormatError, HEADER_BYTES};
+use crate::format::{Compressed, CompressedRef, FormatError, HEADER_BYTES};
+use std::io::{self, Read, Write};
 
 /// Magic bytes of the chunked container serialization.
 pub const CHUNK_MAGIC: [u8; 8] = *b"CUSZPCH1";
@@ -100,44 +101,39 @@ impl ChunkedCompressed {
     /// whose sum disagrees with the buffer, or a corrupt inner frame —
     /// returns an error; it never panics.
     pub fn from_bytes(bytes: &[u8]) -> Result<ChunkedCompressed, FormatError> {
-        if bytes.len() < CONTAINER_HEADER_BYTES {
-            return Err(FormatError::Truncated);
+        Ok(ChunkedCompressed {
+            chunks: chunk_refs(bytes)?.iter().map(|r| r.to_owned()).collect(),
+        })
+    }
+
+    /// Serialize to a [`Write`] sink without materializing the container:
+    /// identical bytes to [`ChunkedCompressed::to_bytes`], but the only
+    /// buffering is the sink's own, so a multi-GB archive streams through
+    /// constant memory.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&CHUNK_MAGIC)?;
+        w.write_all(&(self.chunks.len() as u32).to_le_bytes())?;
+        for c in &self.chunks {
+            w.write_all(&c.total_bytes().to_le_bytes())?;
         }
-        if bytes[..8] != CHUNK_MAGIC {
-            return Err(FormatError::BadMagic);
+        for c in &self.chunks {
+            c.write_to(w)?;
         }
-        let n = u32::from_le_bytes(bytes[8..12].try_into().expect("len checked"));
-        if n > MAX_CHUNKS {
-            return Err(FormatError::Corrupt("chunk count exceeds MAX_CHUNKS"));
-        }
-        let n = n as usize;
-        let table_end = CONTAINER_HEADER_BYTES + n * 8;
-        if bytes.len() < table_end {
-            return Err(FormatError::Truncated);
-        }
-        let mut lens = Vec::with_capacity(n);
-        for i in 0..n {
-            let at = CONTAINER_HEADER_BYTES + i * 8;
-            let len = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("len checked"));
-            if len < HEADER_BYTES as u64 {
-                return Err(FormatError::Corrupt("chunk frame shorter than a header"));
-            }
-            lens.push(len);
-        }
-        let mut chunks = Vec::with_capacity(n);
-        let mut at = table_end as u64;
-        for len in lens {
-            let end = at
-                .checked_add(len)
-                .ok_or(FormatError::Corrupt("chunk offset overflow"))?;
-            if end > bytes.len() as u64 {
-                return Err(FormatError::Truncated);
-            }
-            chunks.push(Compressed::from_bytes(&bytes[at as usize..end as usize])?);
-            at = end;
-        }
-        if at != bytes.len() as u64 {
-            return Err(FormatError::Corrupt("trailing bytes after last chunk"));
+        Ok(())
+    }
+
+    /// Deserialize a container from a [`Read`] source (the inverse of
+    /// [`ChunkedCompressed::write_to`]). Reads exactly the container and
+    /// no further, so containers can be embedded in larger streams.
+    /// Malformed input surfaces as [`io::ErrorKind::InvalidData`].
+    ///
+    /// For sequential chunk-at-a-time processing in constant memory, use
+    /// [`ChunkedReader`] instead — this method holds every decoded chunk.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<ChunkedCompressed> {
+        let mut reader = ChunkedReader::new(r)?;
+        let mut chunks = Vec::with_capacity(reader.remaining_chunks().min(1024));
+        while let Some(c) = reader.next_chunk()? {
+            chunks.push(c.to_owned());
         }
         Ok(ChunkedCompressed { chunks })
     }
@@ -148,6 +144,129 @@ impl ChunkedCompressed {
             c.validate()?;
         }
         Ok(())
+    }
+}
+
+/// Parse a serialized container into **borrowed** chunk views — the
+/// copy-free decode path. Each [`CompressedRef`] slices directly into
+/// `bytes`; nothing from the frames is copied, so decoding a chunk
+/// ([`crate::fast::decompress_into`]) reads payload bytes straight out of
+/// the container buffer (which may itself be a memory-mapped file).
+///
+/// Validation is identical to [`ChunkedCompressed::from_bytes`] — in fact
+/// `from_bytes` is this plus a deep copy per chunk.
+pub fn chunk_refs(bytes: &[u8]) -> Result<Vec<CompressedRef<'_>>, FormatError> {
+    if bytes.len() < CONTAINER_HEADER_BYTES {
+        return Err(FormatError::Truncated);
+    }
+    if bytes[..8] != CHUNK_MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let n = u32::from_le_bytes(bytes[8..12].try_into().expect("len checked"));
+    if n > MAX_CHUNKS {
+        return Err(FormatError::Corrupt("chunk count exceeds MAX_CHUNKS"));
+    }
+    let n = n as usize;
+    let table_end = CONTAINER_HEADER_BYTES + n * 8;
+    if bytes.len() < table_end {
+        return Err(FormatError::Truncated);
+    }
+    let mut chunks = Vec::with_capacity(n);
+    let mut at = table_end as u64;
+    for i in 0..n {
+        let entry = CONTAINER_HEADER_BYTES + i * 8;
+        let len = u64::from_le_bytes(bytes[entry..entry + 8].try_into().expect("len checked"));
+        if len < HEADER_BYTES as u64 {
+            return Err(FormatError::Corrupt("chunk frame shorter than a header"));
+        }
+        let end = at
+            .checked_add(len)
+            .ok_or(FormatError::Corrupt("chunk offset overflow"))?;
+        if end > bytes.len() as u64 {
+            return Err(FormatError::Truncated);
+        }
+        chunks.push(CompressedRef::parse(&bytes[at as usize..end as usize])?);
+        at = end;
+    }
+    if at != bytes.len() as u64 {
+        return Err(FormatError::Corrupt("trailing bytes after last chunk"));
+    }
+    Ok(chunks)
+}
+
+/// Sequential chunk-at-a-time container reader over any [`Read`] source.
+///
+/// Holds the length table plus **one frame at a time** in a reused buffer
+/// — peak memory is the largest single frame, independent of container
+/// size, which is what lets a multi-GB archive decode through constant
+/// memory. Each [`ChunkedReader::next_chunk`] call overwrites the frame
+/// buffer, handing back a [`CompressedRef`] borrowing it (a *lending*
+/// iterator — decode or copy the chunk before requesting the next one).
+pub struct ChunkedReader<'r, R: Read> {
+    src: &'r mut R,
+    /// Frame lengths still to be read, in order (drained front to back).
+    lens: Vec<u64>,
+    next: usize,
+    /// Reused frame buffer; grown monotonically to the largest frame seen.
+    frame: Vec<u8>,
+}
+
+impl<'r, R: Read> ChunkedReader<'r, R> {
+    /// Read and validate the container header + length table, leaving the
+    /// source positioned at the first frame.
+    pub fn new(src: &'r mut R) -> io::Result<Self> {
+        let bad = |msg: &'static str| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut head = [0u8; CONTAINER_HEADER_BYTES];
+        src.read_exact(&mut head)?;
+        if head[..8] != CHUNK_MAGIC {
+            return Err(bad("bad container magic"));
+        }
+        let n = u32::from_le_bytes(head[8..12].try_into().expect("len checked"));
+        if n > MAX_CHUNKS {
+            return Err(bad("chunk count exceeds MAX_CHUNKS"));
+        }
+        let mut lens = Vec::with_capacity(n as usize);
+        let mut entry = [0u8; 8];
+        for _ in 0..n {
+            src.read_exact(&mut entry)?;
+            let len = u64::from_le_bytes(entry);
+            if len < HEADER_BYTES as u64 {
+                return Err(bad("chunk frame shorter than a header"));
+            }
+            lens.push(len);
+        }
+        Ok(ChunkedReader {
+            src,
+            lens,
+            next: 0,
+            frame: Vec::new(),
+        })
+    }
+
+    /// Total number of chunks in the container.
+    pub fn num_chunks(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Chunks not yet yielded.
+    pub fn remaining_chunks(&self) -> usize {
+        self.lens.len() - self.next
+    }
+
+    /// Read the next frame into the internal buffer and parse it.
+    /// Returns `Ok(None)` once every chunk has been yielded.
+    pub fn next_chunk(&mut self) -> io::Result<Option<CompressedRef<'_>>> {
+        let Some(&len) = self.lens.get(self.next) else {
+            return Ok(None);
+        };
+        self.next += 1;
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "chunk frame too large"))?;
+        self.frame.resize(len, 0);
+        self.src.read_exact(&mut self.frame)?;
+        CompressedRef::parse(&self.frame)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -232,5 +351,76 @@ mod tests {
             ChunkedCompressed::from_bytes(&bytes),
             Err(FormatError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn chunk_refs_borrow_the_container() {
+        let c = ChunkedCompressed {
+            chunks: vec![chunk(100, 0.0), chunk(33, 1.0)],
+        };
+        let bytes = c.to_bytes();
+        let refs = chunk_refs(&bytes).unwrap();
+        assert_eq!(refs.len(), 2);
+        let range = bytes.as_ptr_range();
+        for (r, owned) in refs.iter().zip(&c.chunks) {
+            assert_eq!(&r.to_owned(), owned);
+            // Copy-free: the view's payload points inside `bytes`.
+            assert!(owned.payload.is_empty() || range.contains(&r.payload.as_ptr()));
+        }
+        // And the same malformed inputs fail identically.
+        assert_eq!(chunk_refs(&bytes[..5]).unwrap_err(), FormatError::Truncated);
+    }
+
+    #[test]
+    fn streaming_roundtrip_matches_to_bytes() {
+        for c in [
+            ChunkedCompressed::new(),
+            ChunkedCompressed {
+                chunks: vec![chunk(100, 0.0), chunk(33, 1.0), chunk(1, 2.0)],
+            },
+        ] {
+            let mut streamed = Vec::new();
+            c.write_to(&mut streamed).unwrap();
+            assert_eq!(streamed, c.to_bytes());
+            let back = ChunkedCompressed::read_from(&mut streamed.as_slice()).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn read_from_stops_at_container_end() {
+        let c = ChunkedCompressed::single(chunk(40, 0.0));
+        let mut bytes = c.to_bytes();
+        bytes.extend_from_slice(b"suffix"); // embedded in a larger stream
+        let mut src = bytes.as_slice();
+        assert_eq!(ChunkedCompressed::read_from(&mut src).unwrap(), c);
+        assert_eq!(src, b"suffix");
+    }
+
+    #[test]
+    fn chunked_reader_yields_in_order_constant_memory() {
+        let c = ChunkedCompressed {
+            chunks: vec![chunk(200, 0.0), chunk(7, 1.0), chunk(64, 2.0)],
+        };
+        let bytes = c.to_bytes();
+        let mut src = bytes.as_slice();
+        let mut reader = ChunkedReader::new(&mut src).unwrap();
+        assert_eq!(reader.num_chunks(), 3);
+        let mut seen = 0;
+        while let Some(r) = reader.next_chunk().unwrap() {
+            assert_eq!(r.to_owned(), c.chunks[seen]);
+            seen += 1;
+        }
+        assert_eq!(seen, 3);
+        assert_eq!(reader.remaining_chunks(), 0);
+        assert!(reader.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_reader_rejects_truncated_frames() {
+        let bytes = ChunkedCompressed::single(chunk(40, 0.0)).to_bytes();
+        let mut src = &bytes[..bytes.len() - 1];
+        let mut reader = ChunkedReader::new(&mut src).unwrap();
+        assert!(reader.next_chunk().is_err());
     }
 }

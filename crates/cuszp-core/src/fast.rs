@@ -12,7 +12,7 @@
 //!   quantization arithmetic runs through [`crate::simd`] (AVX-512 when
 //!   the host has it, bit-exact scalar otherwise), and each block's sign
 //!   map + bit planes are emitted into the worker's staging buffer the
-//!   moment they are planned — the host analogue of the GPU kernel
+//!   moment the tile is planned — the host analogue of the GPU kernel
 //!   encoding into shared memory before the global offsets exist.
 //! - An exclusive **prefix sum** over the per-block `CmpL` table — the
 //!   host edition of the paper's Global Synchronization step — fixes
@@ -20,8 +20,7 @@
 //! - **Phase 2** places each worker's staged bytes at its scanned offset
 //!   in the final payload. Staged bytes are already exactly the final
 //!   bytes (fraction ⓑ is a plain concatenation), so placement is a
-//!   bulk copy — and with one worker the staging buffer simply *becomes*
-//!   the payload.
+//!   bulk copy.
 //!
 //! The bit-plane work itself is word-parallel twice over: per 8-value
 //! group, the magnitudes' byte matrix is transposed
@@ -31,6 +30,32 @@
 //! across groups turns the results into whole plane *rows*, stored with
 //! word writes instead of strided byte writes. Decoding runs the same
 //! three transposes backwards (each is an involution).
+//!
+//! ## The zero-allocation steady state
+//!
+//! Every working buffer the codec needs — the per-block `(F, CmpL)`
+//! table, the Eq-2 prefix-sum workspace, and per-worker residual /
+//! staging buffers — lives in a caller-owned [`Scratch`] arena that is
+//! grown monotonically and reused across calls. The `_into` entry points
+//! ([`compress_into`], [`decompress_into`]) write their results into
+//! caller-owned memory as well, so after the first call with a given
+//! shape (*warm-up*), a single-threaded call performs **zero heap
+//! allocations** — the host analogue of the paper's no-intermediate-
+//! buffer, single-kernel design, and the property the ultra-fast CPU
+//! compressors (SZx) identify as decisive for small payloads. The
+//! `crates/alloc-counter` allocator proves it executable
+//! (`cuszp-core/tests/alloc_count.rs`). Threaded `_into` calls reuse
+//! per-worker arenas but still pay `std::thread` spawn allocations.
+//!
+//! The `_into` output buffer is reserved **up front from the Eq-2 size
+//! table bound** — `CmpL(max_F(dtype))` per block, the same dtype-bounded
+//! budget the device kernel allocates its payload from — so its capacity
+//! depends only on the call's *shape* (element count, block length,
+//! dtype), never on how well the content compresses: a warm buffer never
+//! reallocates no matter how compressibility varies between calls.
+//! Worker staging instead grows by each tile's exact `CmpL` sum, known
+//! before any byte of the tile is staged, so cold owned-API calls fault
+//! in only the pages they fill.
 //!
 //! No per-block heap allocation happens in either direction. Because
 //! blocks are independent once the offsets are known — the same argument
@@ -44,7 +69,8 @@ use crate::bitshuffle::{byte_transpose8x8, transpose8x8};
 use crate::config::CuszpConfig;
 use crate::dtype::FloatData;
 use crate::encode::cmp_bytes_for;
-use crate::format::Compressed;
+use crate::format::{Compressed, CompressedRef};
+
 use crate::simd;
 
 /// Residual-scratch sizing: tiles hold about this many elements so the
@@ -63,21 +89,93 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Split `num_blocks` into at most `threads` contiguous non-empty ranges.
-fn block_ranges(num_blocks: usize, threads: usize) -> Vec<(usize, usize)> {
-    let threads = threads.min(num_blocks).max(1);
-    let per = num_blocks / threads;
-    let extra = num_blocks % threads;
-    let mut ranges = Vec::with_capacity(threads);
-    let mut at = 0;
-    for t in 0..threads {
-        let len = per + usize::from(t < extra);
-        if len > 0 {
-            ranges.push((at, at + len));
-            at += len;
+/// Ensure `v` holds at least `n` elements (monotonic growth — capacity is
+/// never released) and hand back the first `n`.
+fn grow<T: Copy + Default>(v: &mut Vec<T>, n: usize) -> &mut [T] {
+    if v.len() < n {
+        v.resize(n, T::default());
+    }
+    &mut v[..n]
+}
+
+/// One worker's private buffers: cache-resident residual/quantization
+/// tile, per-tile max table, and the phase-1 staging bytes.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    /// Residuals on compression, quantization integers on decompression.
+    resid: Vec<i64>,
+    /// Per-block max residual magnitude within the current tile.
+    maxes: Vec<u64>,
+    /// Phase-1 staged payload fraction for this worker's block range.
+    staging: Vec<u8>,
+}
+
+/// Reusable workspace for the zero-allocation codec entry points.
+///
+/// Holds the per-block `(F, CmpL)` scratch table, the Eq-2 prefix-sum
+/// workspace, the worker block ranges, and one [`WorkerScratch`] per
+/// worker. Buffers grow monotonically and are reused verbatim across
+/// calls — a *dirty* arena (left over from any prior call, any dtype,
+/// any size) never changes results, only allocation behavior. After the
+/// first call at a given shape, single-threaded [`compress_into`] /
+/// [`decompress_into`] calls touch the heap zero times.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Per-block fixed lengths `F` (fraction ⓐ before it is emitted).
+    fls: Vec<u8>,
+    /// Per-block compressed sizes `CmpL` (Eq 2).
+    cmps: Vec<u32>,
+    /// Exclusive prefix sum of `cmps` — the GS-step workspace.
+    offsets: Vec<u64>,
+    /// Contiguous block ranges, one per worker.
+    ranges: Vec<(usize, usize)>,
+    /// Per-worker buffers (index parallel to `ranges`).
+    workers: Vec<WorkerScratch>,
+}
+
+impl Scratch {
+    /// Fresh, empty arena. All buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently held across all internal buffers (diagnostic —
+    /// what a long-lived arena pins in memory).
+    pub fn capacity_bytes(&self) -> usize {
+        self.fls.capacity()
+            + 4 * self.cmps.capacity()
+            + 8 * self.offsets.capacity()
+            + 16 * self.ranges.capacity()
+            + self
+                .workers
+                .iter()
+                .map(|w| 8 * w.resid.capacity() + 8 * w.maxes.capacity() + w.staging.capacity())
+                .sum::<usize>()
+    }
+
+    /// Split `num_blocks` into at most `threads` contiguous non-empty
+    /// ranges, reusing the range buffer.
+    fn fill_ranges(&mut self, num_blocks: usize, threads: usize) {
+        self.ranges.clear();
+        if num_blocks == 0 {
+            return;
+        }
+        let threads = threads.min(num_blocks).max(1);
+        let per = num_blocks / threads;
+        let extra = num_blocks % threads;
+        let mut at = 0;
+        for t in 0..threads {
+            let len = per + usize::from(t < extra);
+            if len > 0 {
+                self.ranges.push((at, at + len));
+                at += len;
+            }
+        }
+        if self.workers.len() < self.ranges.len() {
+            self.workers
+                .resize_with(self.ranges.len(), Default::default);
         }
     }
-    ranges
 }
 
 /// Encode one block's sign map + bit planes into `out[..CmpL]`. Layout is
@@ -124,6 +222,13 @@ fn encode_block(resid: &[i64], f: u8, out: &mut [u8]) {
 /// Phase 1 for blocks `[b0, b1)`: tile-fused quantize + Lorenzo + plan +
 /// encode. Fills `fls`/`cmps` (the `(F, CmpL)` scratch table) and appends
 /// every non-zero block's payload bytes to `staging` in block order.
+///
+/// The caller reserves `staging` from the Eq-2 dtype bound up front;
+/// here it grows only by each tile's exact `CmpL` sum (known before the
+/// tile's first staged byte), so it never reallocates once that
+/// reservation is in place. `staging` may be a private worker buffer or
+/// the final output itself (the sequential `compress_into` fast path
+/// encodes straight into the serialized stream — no placement copy).
 #[allow(clippy::too_many_arguments)]
 fn plan_and_encode<T: FloatData>(
     data: &[T],
@@ -133,12 +238,14 @@ fn plan_and_encode<T: FloatData>(
     b0: usize,
     fls: &mut [u8],
     cmps: &mut [u32],
+    resid: &mut Vec<i64>,
+    maxes: &mut Vec<u64>,
     staging: &mut Vec<u8>,
 ) {
-    let blocks_per_tile = (TILE_ELEMS / l).max(1);
-    let mut resid = vec![0i64; blocks_per_tile * l];
-    let mut maxes = vec![0u64; blocks_per_tile];
     let num_blocks = fls.len();
+    let blocks_per_tile = (TILE_ELEMS / l).max(1);
+    let resid = grow(resid, blocks_per_tile * l);
+    let maxes = grow(maxes, blocks_per_tile);
     let n = data.len();
     let b32 = l == 32 && simd::block32_available();
 
@@ -155,24 +262,119 @@ fn plan_and_encode<T: FloatData>(
             &mut resid[..tile * l],
             &mut maxes[..tile],
         );
+        // Plan the whole tile first: the tile's staged size is exact
+        // before a single byte is written.
+        let mut tile_cmp = 0usize;
         for (k, &max_abs) in maxes[..tile].iter().enumerate() {
             let f = (64 - max_abs.leading_zeros()) as u8;
             let cmp = cmp_bytes_for(f, l);
             fls[i + k] = f;
             cmps[i + k] = cmp;
-            if f > 0 {
-                let at = staging.len();
-                staging.resize(at + cmp as usize, 0);
-                let block = &resid[k * l..(k + 1) * l];
-                if b32 && f <= 16 {
-                    simd::encode_block32(block, f, &mut staging[at..]);
-                } else {
-                    encode_block(block, f, &mut staging[at..]);
-                }
+            tile_cmp += cmp as usize;
+        }
+        let mut at = staging.len();
+        staging.resize(at + tile_cmp, 0);
+        for (k, &f) in fls[i..i + tile].iter().enumerate() {
+            if f == 0 {
+                continue;
             }
+            let cmp = cmps[i + k] as usize;
+            let block = &resid[k * l..(k + 1) * l];
+            if b32 && f <= 16 {
+                simd::encode_block32(block, f, &mut staging[at..at + cmp]);
+            } else {
+                encode_block(block, f, &mut staging[at..at + cmp]);
+            }
+            at += cmp;
         }
         i += tile;
     }
+}
+
+/// Run both compression phases into `scratch`: fills the `(F, CmpL)`
+/// table and every worker's staging bytes. Returns the total payload
+/// size (the sum of the `CmpL` column).
+fn compress_core<T: FloatData>(
+    data: &[T],
+    eb: f64,
+    cfg: CuszpConfig,
+    threads: usize,
+    scratch: &mut Scratch,
+) -> u64 {
+    cfg.validate();
+    assert!(
+        eb.is_finite() && eb > 0.0,
+        "absolute bound must be positive"
+    );
+    let l = cfg.block_len;
+    let num_blocks = data.len().div_ceil(l);
+    let threads = resolve_threads(threads);
+    grow(&mut scratch.fls, num_blocks);
+    grow(&mut scratch.cmps, num_blocks);
+    scratch.fill_ranges(num_blocks, threads);
+
+    // Per-worker staging grows by each tile's exact `CmpL` sum (known
+    // before any byte of the tile is staged), so a cold buffer faults in
+    // only the pages it actually fills — reserving the Eq-2 worst case
+    // here would make every fresh-`Scratch` owned call map and fault a
+    // dtype-bound-sized region. The zero-allocation arena entry points
+    // make their own worst-case reservation on the *output* buffer,
+    // which is where the no-realloc-at-steady-state guarantee lives.
+    if scratch.ranges.len() <= 1 {
+        if num_blocks > 0 {
+            let ws = &mut scratch.workers[0];
+            ws.staging.clear();
+            plan_and_encode(
+                data,
+                eb,
+                cfg.lorenzo,
+                l,
+                0,
+                &mut scratch.fls[..num_blocks],
+                &mut scratch.cmps[..num_blocks],
+                &mut ws.resid,
+                &mut ws.maxes,
+                &mut ws.staging,
+            );
+        }
+    } else {
+        // Phase 1 in parallel: each worker fills its slice of the (F,
+        // CmpL) table and stages its payload fraction in its own arena.
+        let ranges = &scratch.ranges;
+        std::thread::scope(|s| {
+            let mut fl_rest = &mut scratch.fls[..num_blocks];
+            let mut cmp_rest = &mut scratch.cmps[..num_blocks];
+            for (&(b0, b1), ws) in ranges.iter().zip(scratch.workers.iter_mut()) {
+                let (fls, flr) = fl_rest.split_at_mut(b1 - b0);
+                fl_rest = flr;
+                let (cs, cr) = cmp_rest.split_at_mut(b1 - b0);
+                cmp_rest = cr;
+                s.spawn(move || {
+                    ws.staging.clear();
+                    plan_and_encode(
+                        data,
+                        eb,
+                        cfg.lorenzo,
+                        l,
+                        b0,
+                        fls,
+                        cs,
+                        &mut ws.resid,
+                        &mut ws.maxes,
+                        &mut ws.staging,
+                    )
+                });
+            }
+        });
+    }
+
+    // Global Synchronization, host edition: the sum of the CmpL column is
+    // the payload size; per-block offsets follow by prefix sum wherever a
+    // consumer needs them (decompression rebuilds them from fraction ⓐ).
+    scratch.cmps[..num_blocks]
+        .iter()
+        .map(|&c| c as u64)
+        .sum::<u64>()
 }
 
 /// Compress `data` under an **absolute** error bound `eb`, sequentially.
@@ -193,6 +395,74 @@ pub fn compress_threaded<T: FloatData>(
     cfg: CuszpConfig,
     threads: usize,
 ) -> Compressed {
+    compress_with(&mut Scratch::new(), data, eb, cfg, threads)
+}
+
+/// Compress into an **owned** [`Compressed`] while reusing a caller
+/// arena for every intermediate buffer — what a long-lived worker (e.g.
+/// a `cuszp-pipeline` stream) runs per chunk: the only allocations left
+/// are the two output `Vec`s the result itself owns, both sized exactly.
+pub fn compress_with<T: FloatData>(
+    scratch: &mut Scratch,
+    data: &[T],
+    eb: f64,
+    cfg: CuszpConfig,
+    threads: usize,
+) -> Compressed {
+    let total = compress_core(data, eb, cfg, threads, scratch);
+    let num_blocks = data.len().div_ceil(cfg.block_len);
+    // One worker: the staging buffer already *is* the payload, in final
+    // byte order — move it out instead of copying (the arena regrows it
+    // on the next call, which is the one allocation an owned result
+    // needs anyway). Several workers: concatenate the staged fractions.
+    let payload = if scratch.ranges.len() == 1 {
+        std::mem::take(&mut scratch.workers[0].staging)
+    } else {
+        let mut payload = Vec::with_capacity(total as usize);
+        for ws in &scratch.workers[..scratch.ranges.len()] {
+            payload.extend_from_slice(&ws.staging);
+        }
+        payload
+    };
+    debug_assert_eq!(payload.len() as u64, total);
+    Compressed {
+        num_elements: data.len() as u64,
+        block_len: cfg.block_len as u32,
+        eb,
+        lorenzo: cfg.lorenzo,
+        dtype: T::DTYPE,
+        fixed_lengths: scratch.fls[..num_blocks].to_vec(),
+        payload,
+    }
+}
+
+/// Compress into a caller-owned output buffer, sequentially: `out`
+/// receives the full serialized stream (header + fraction ⓐ + payload,
+/// exactly [`Compressed::to_bytes`]' layout) and the returned
+/// [`CompressedRef`] borrows it. With a warm [`Scratch`] and a reused
+/// `out`, the call performs **zero heap allocations** — see the module
+/// docs.
+pub fn compress_into<'a, T: FloatData>(
+    scratch: &mut Scratch,
+    data: &[T],
+    eb: f64,
+    cfg: CuszpConfig,
+    out: &'a mut Vec<u8>,
+) -> CompressedRef<'a> {
+    compress_into_threaded(scratch, data, eb, cfg, 1, out)
+}
+
+/// [`compress_into`] with `threads` workers (`0` ⇒ host parallelism).
+/// Bit-identical output for every thread count; per-worker arenas are
+/// reused, though thread spawning itself still allocates.
+pub fn compress_into_threaded<'a, T: FloatData>(
+    scratch: &mut Scratch,
+    data: &[T],
+    eb: f64,
+    cfg: CuszpConfig,
+    threads: usize,
+    out: &'a mut Vec<u8>,
+) -> CompressedRef<'a> {
     cfg.validate();
     assert!(
         eb.is_finite() && eb > 0.0,
@@ -200,74 +470,66 @@ pub fn compress_threaded<T: FloatData>(
     );
     let l = cfg.block_len;
     let num_blocks = data.len().div_ceil(l);
-    let threads = resolve_threads(threads);
+    let header_bytes = crate::format::HEADER_BYTES;
 
-    let mut fixed_lengths = vec![0u8; num_blocks];
-    let mut cmps = vec![0u32; num_blocks];
-    let ranges = block_ranges(num_blocks, threads);
+    // The header depends only on metadata known up front.
+    let header = CompressedRef {
+        num_elements: data.len() as u64,
+        block_len: l as u32,
+        eb,
+        lorenzo: cfg.lorenzo,
+        dtype: T::DTYPE,
+        fixed_lengths: &[],
+        payload: &[],
+    }
+    .header_bytes();
 
-    let payload = if ranges.len() <= 1 {
-        // One worker: its staging buffer IS the payload.
-        let mut staging = Vec::with_capacity(std::mem::size_of_val(data) / 8 + 64);
+    out.clear();
+    // Reserve from the Eq-2 dtype bound rather than this payload's exact
+    // size: capacity then depends only on the input *shape*, so a reused
+    // `out` never reallocates once warm even when a later payload of the
+    // same shape compresses worse than the warm-up one did.
+    let worst_block = cmp_bytes_for(T::DTYPE.max_fixed_len(), l) as usize;
+    out.reserve(header.len() + num_blocks + num_blocks * worst_block);
+    out.extend_from_slice(&header);
+    out.resize(header.len() + num_blocks, 0); // fraction-ⓐ placeholder
+
+    let resolved = resolve_threads(threads);
+    grow(&mut scratch.fls, num_blocks);
+    grow(&mut scratch.cmps, num_blocks);
+    scratch.fill_ranges(num_blocks, resolved);
+    if scratch.ranges.len() <= 1 {
+        // Sequential fast path: encode payload bytes *directly* into the
+        // serialized stream — no staging buffer, no placement copy.
         if num_blocks > 0 {
+            let ws = &mut scratch.workers[0];
             plan_and_encode(
                 data,
                 eb,
                 cfg.lorenzo,
                 l,
                 0,
-                &mut fixed_lengths,
-                &mut cmps,
-                &mut staging,
+                &mut scratch.fls[..num_blocks],
+                &mut scratch.cmps[..num_blocks],
+                &mut ws.resid,
+                &mut ws.maxes,
+                out,
             );
         }
-        staging
+        out[header.len()..header.len() + num_blocks].copy_from_slice(&scratch.fls[..num_blocks]);
     } else {
-        // Phase 1 in parallel: each worker fills its slice of the (F,
-        // CmpL) table and stages its payload fraction.
-        let mut stagings: Vec<Vec<u8>> = Vec::with_capacity(ranges.len());
-        std::thread::scope(|s| {
-            let mut fl_rest = &mut fixed_lengths[..];
-            let mut cmp_rest = &mut cmps[..];
-            let mut handles = Vec::with_capacity(ranges.len());
-            for &(b0, b1) in &ranges {
-                let (fls, flr) = fl_rest.split_at_mut(b1 - b0);
-                fl_rest = flr;
-                let (cs, cr) = cmp_rest.split_at_mut(b1 - b0);
-                cmp_rest = cr;
-                handles.push(s.spawn(move || {
-                    let guess = (b1 - b0) * l * std::mem::size_of::<T>() / 8 + 64;
-                    let mut staging = Vec::with_capacity(guess);
-                    plan_and_encode(data, eb, cfg.lorenzo, l, b0, fls, cs, &mut staging);
-                    staging
-                }));
-            }
-            for h in handles {
-                stagings.push(h.join().expect("codec worker panicked"));
-            }
-        });
-
-        // Global Synchronization, host edition: the exclusive prefix sum
-        // over CmpL fixes every block's offset; phase 2 places each
-        // worker's staged bytes at its range's offset.
-        let mut offsets = vec![0u64; num_blocks + 1];
-        let mut acc = 0u64;
-        for (b, &c) in cmps.iter().enumerate() {
-            offsets[b] = acc;
-            acc += c as u64;
+        // Threaded: workers stage privately (they cannot share `out`
+        // before the offsets exist), then placement concatenates.
+        let total = compress_core(data, eb, cfg, threads, scratch);
+        out[header.len()..header.len() + num_blocks].copy_from_slice(&scratch.fls[..num_blocks]);
+        for ws in &scratch.workers[..scratch.ranges.len()] {
+            out.extend_from_slice(&ws.staging);
         }
-        offsets[num_blocks] = acc;
+        debug_assert_eq!(out.len(), header.len() + num_blocks + total as usize);
+    }
 
-        let mut payload = Vec::with_capacity(acc as usize);
-        for (&(b0, _), staged) in ranges.iter().zip(&stagings) {
-            debug_assert_eq!(payload.len() as u64, offsets[b0]);
-            payload.extend_from_slice(staged);
-        }
-        debug_assert_eq!(payload.len() as u64, acc);
-        payload
-    };
-
-    Compressed {
+    let (fixed_lengths, payload) = out[header_bytes..].split_at(num_blocks);
+    CompressedRef {
         num_elements: data.len() as u64,
         block_len: l as u32,
         eb,
@@ -343,10 +605,11 @@ fn decode_blocks<T: FloatData>(
     n: usize,
     eb: f64,
     lorenzo: bool,
+    ws: &mut WorkerScratch,
     out: &mut [T],
 ) {
     let blocks_per_tile = (TILE_ELEMS / l).max(1);
-    let mut q = vec![0i64; blocks_per_tile * l];
+    let q = grow(&mut ws.resid, blocks_per_tile * l);
     let num_blocks = fls.len();
     let out_base = b0 * l;
     let b32 = l == 32 && simd::block32_available();
@@ -370,7 +633,7 @@ fn decode_blocks<T: FloatData>(
         }
         let start = (b0 + i) * l;
         let end = (start + tile * l).min(n);
-        simd::dequantize_slice(&q, eb, &mut out[start - out_base..end - out_base]);
+        simd::dequantize_slice(q, eb, &mut out[start - out_base..end - out_base]);
         i += tile;
     }
 }
@@ -389,59 +652,119 @@ pub fn decompress<T: FloatData>(c: &Compressed) -> Vec<T> {
 /// decode independently at Eq-2 offsets, so the output is identical for
 /// every thread count.
 pub fn decompress_threaded<T: FloatData>(c: &Compressed, threads: usize) -> Vec<T> {
-    // The exact-length payload check matters here: block offsets are
-    // trusted for direct slicing below.
-    c.validate().expect("invalid stream");
-    assert_eq!(c.dtype, T::DTYPE, "stream element type mismatch");
-    let l = c.block_len as usize;
     let n = c.num_elements as usize;
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: `T` is sealed to `f32`/`f64` — plain-old-data, no drop, no
+    // invalid bit patterns — and `decompress_into_threaded` stores to
+    // every element of the slice (each block tile dequantizes its full
+    // element range) before `set_len` makes them observable. Writing
+    // through the raw-parts slice rather than `vec![T::default(); n]`
+    // skips a full-size memset the decoder would immediately overwrite.
+    unsafe {
+        let uninit = std::slice::from_raw_parts_mut(out.as_mut_ptr(), n);
+        decompress_into_threaded(c.as_ref(), threads, &mut Scratch::new(), uninit);
+        out.set_len(n);
+    }
+    out
+}
+
+/// Decompress into a caller-owned slice, sequentially, reusing `scratch`
+/// for the offset table and the tile buffer. With a warm arena the call
+/// performs **zero heap allocations**. Accepts the borrowed stream form,
+/// so a stream parsed out of a container ([`CompressedRef::parse`])
+/// decodes without its payload ever being copied.
+///
+/// # Panics
+/// Panics if the stream is structurally invalid, was compressed from a
+/// different element type than `T`, or `out.len() != num_elements`.
+pub fn decompress_into<T: FloatData>(c: CompressedRef<'_>, scratch: &mut Scratch, out: &mut [T]) {
+    decompress_into_threaded(c, 1, scratch, out)
+}
+
+/// [`decompress_into`] with `threads` workers (`0` ⇒ host parallelism).
+/// Identical output for every thread count.
+pub fn decompress_into_threaded<T: FloatData>(
+    c: CompressedRef<'_>,
+    threads: usize,
+    scratch: &mut Scratch,
+    out: &mut [T],
+) {
+    assert_eq!(c.dtype, T::DTYPE, "stream element type mismatch");
+    let n = c.num_elements as usize;
+    assert_eq!(out.len(), n, "output slice length != num_elements");
+    let l = c.block_len as usize;
+    assert!(
+        l > 0 && l.is_multiple_of(8),
+        "invalid stream: bad block length"
+    );
+    assert!(
+        c.eb.is_finite() && c.eb > 0.0,
+        "invalid stream: bad error bound"
+    );
     let num_blocks = c.num_blocks();
+    assert_eq!(
+        c.fixed_lengths.len(),
+        num_blocks,
+        "invalid stream: fixed-length table size"
+    );
     let threads = resolve_threads(threads);
 
     // Rebuild the offset table from fraction ⓐ via Eq 2 (Fig 2's offsets
-    // are never stored).
-    let mut offsets = vec![0u64; num_blocks + 1];
+    // are never stored), fused with the structural validation: one scan
+    // both checks every `F` and totals the expected payload size. The
+    // exact-length check matters — block offsets are trusted for direct
+    // payload slicing below.
+    let offsets = grow(&mut scratch.offsets, num_blocks + 1);
     let mut acc = 0u64;
-    for (b, &f) in c.fixed_lengths.iter().enumerate() {
-        offsets[b] = acc;
+    for (dst, &f) in offsets.iter_mut().zip(c.fixed_lengths) {
+        // Hard cap of the bit-plane layout (64-bit residual magnitudes),
+        // NOT `DType::max_fixed_len()`: extreme f32 amplitude/bound
+        // combinations legitimately push F past 33.
+        assert!(f <= 64, "invalid stream: fixed length exceeds 64");
+        *dst = acc;
         acc += cmp_bytes_for(f, l) as u64;
     }
     offsets[num_blocks] = acc;
+    assert_eq!(
+        acc,
+        c.payload.len() as u64,
+        "invalid stream: payload length disagrees with Eq-2 accounting"
+    );
 
-    let mut out = vec![T::default(); n];
-    let ranges = block_ranges(num_blocks, threads);
-    if ranges.len() <= 1 {
+    scratch.fill_ranges(num_blocks, threads);
+    if scratch.ranges.len() <= 1 {
         if num_blocks > 0 {
             decode_blocks(
-                &c.fixed_lengths,
-                &offsets,
-                &c.payload,
+                c.fixed_lengths,
+                &scratch.offsets[..num_blocks + 1],
+                c.payload,
                 l,
                 0,
                 n,
                 c.eb,
                 c.lorenzo,
-                &mut out,
+                &mut scratch.workers[0],
+                out,
             );
         }
     } else {
-        let offsets = &offsets[..];
+        let offsets = &scratch.offsets[..num_blocks + 1];
+        let ranges = &scratch.ranges;
         std::thread::scope(|s| {
-            let mut out_rest = &mut out[..];
+            let mut out_rest = out;
             let mut consumed = 0usize;
-            for &(b0, b1) in &ranges {
+            for (&(b0, b1), ws) in ranges.iter().zip(scratch.workers.iter_mut()) {
                 let end = (b1 * l).min(n);
                 let (mine, rest) = out_rest.split_at_mut(end - consumed);
                 out_rest = rest;
                 consumed = end;
                 let fls = &c.fixed_lengths[b0..b1];
                 s.spawn(move || {
-                    decode_blocks(fls, offsets, &c.payload, l, b0, n, c.eb, c.lorenzo, mine)
+                    decode_blocks(fls, offsets, c.payload, l, b0, n, c.eb, c.lorenzo, ws, mine)
                 });
             }
         });
     }
-    out
 }
 
 #[cfg(test)]
@@ -457,6 +780,8 @@ mod tests {
 
     fn assert_identical(data: &[f32], eb: f64, cfg: CuszpConfig) {
         let reference = host_ref::compress(data, eb, cfg);
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
         for threads in [1usize, 2, 5] {
             let fast = compress_threaded(data, eb, cfg, threads);
             assert_eq!(fast, reference, "compress threads={threads}");
@@ -466,6 +791,14 @@ mod tests {
                 host_ref::decompress::<f32>(&reference),
                 "decompress threads={threads}"
             );
+            // The arena entry points, with a deliberately dirty scratch
+            // and reused output, must serialize and decode identically.
+            let r = compress_into_threaded(&mut scratch, data, eb, cfg, threads, &mut out);
+            assert_eq!(r.to_owned(), reference, "compress_into threads={threads}");
+            assert_eq!(out, reference.to_bytes(), "serialized threads={threads}");
+            let mut into_back = vec![0f32; data.len()];
+            decompress_into_threaded(reference.as_ref(), threads, &mut scratch, &mut into_back);
+            assert_eq!(into_back, back, "decompress_into threads={threads}");
         }
     }
 
@@ -519,6 +852,11 @@ mod tests {
         let c = compress::<f32>(&[], 0.1, CuszpConfig::default());
         assert_eq!(c.num_blocks(), 0);
         assert!(decompress::<f32>(&c).is_empty());
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        let r = compress_into::<f32>(&mut scratch, &[], 0.1, CuszpConfig::default(), &mut out);
+        assert_eq!(r.to_owned(), c);
+        decompress_into::<f32>(c.as_ref(), &mut scratch, &mut []);
     }
 
     #[test]
@@ -546,6 +884,65 @@ mod tests {
         assert_eq!(c, host_ref::compress(&data, 0.01, CuszpConfig::default()));
         let back: Vec<f32> = decompress_threaded(&c, 0);
         assert_eq!(back, host_ref::decompress::<f32>(&c));
+    }
+
+    #[test]
+    fn dirty_arena_reused_across_shapes() {
+        // One arena and one output buffer across wildly different shapes,
+        // dtypes, and configs: results must match fresh-arena calls.
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        for n in [4096usize, 17, 1024, 40_000, 1] {
+            let data = wave(n);
+            let reference = compress(&data, 0.01, CuszpConfig::default());
+            let r = compress_into(&mut scratch, &data, 0.01, CuszpConfig::default(), &mut out);
+            assert_eq!(r.to_owned(), reference, "n={n}");
+            let mut back = vec![0f32; n];
+            decompress_into(reference.as_ref(), &mut scratch, &mut back);
+            assert_eq!(back, decompress::<f32>(&reference), "n={n}");
+        }
+        let doubles: Vec<f64> = (0..999).map(|i| (i as f64 * 0.4).cos() * 77.0).collect();
+        let reference = compress(&doubles, 0.05, CuszpConfig::default());
+        let r = compress_into(
+            &mut scratch,
+            &doubles,
+            0.05,
+            CuszpConfig::default(),
+            &mut out,
+        );
+        assert_eq!(r.to_owned(), reference);
+        assert!(scratch.capacity_bytes() > 0);
+    }
+
+    #[test]
+    fn compress_with_matches_plain() {
+        let data = wave(9000);
+        let mut scratch = Scratch::new();
+        for threads in [1usize, 3] {
+            let c = compress_with(&mut scratch, &data, 0.02, CuszpConfig::default(), threads);
+            assert_eq!(c, compress(&data, 0.02, CuszpConfig::default()));
+        }
+    }
+
+    #[test]
+    fn compress_into_roundtrips_through_parse() {
+        // The bytes in `out` are a complete wire-format stream.
+        let data = wave(3210);
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        compress_into(&mut scratch, &data, 0.01, CuszpConfig::default(), &mut out);
+        let parsed = CompressedRef::parse(&out).expect("well-formed stream");
+        let mut back = vec![0f32; data.len()];
+        decompress_into(parsed, &mut scratch, &mut back);
+        assert_eq!(back, decompress::<f32>(&parsed.to_owned()));
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice length")]
+    fn decompress_into_checks_output_length() {
+        let c = compress(&wave(100), 0.01, CuszpConfig::default());
+        let mut out = vec![0f32; 99];
+        decompress_into(c.as_ref(), &mut Scratch::new(), &mut out);
     }
 
     #[test]

@@ -5,11 +5,20 @@
 //! concatenated at the synchronized offsets). The block-offset array of
 //! Fig 2 is *not* stored — it is recomputed from ⓐ via Eq 2 during
 //! decompression, exactly as the paper describes.
+//!
+//! Streams come in two ownership flavors: [`Compressed`] owns its
+//! fractions (the long-lived archival form), while [`CompressedRef`]
+//! borrows them — from a serialized buffer ([`CompressedRef::parse`]
+//! slices instead of copying), from an owned stream
+//! ([`Compressed::as_ref`]), or from an arena-written output buffer
+//! ([`crate::fast::compress_into`]). Decoding accepts either via the
+//! borrowed form, so nothing in the decompression path forces a copy.
 
 use crate::config::CuszpConfig;
 use crate::dtype::DType;
 use crate::encode::cmp_bytes_for;
 use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
 
 /// Magic bytes of the file serialization.
 pub const MAGIC: [u8; 6] = *b"CUSZP1";
@@ -84,23 +93,87 @@ impl Compressed {
             .sum()
     }
 
-    /// Serialize to a standalone byte stream.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out =
-            Vec::with_capacity(HEADER_BYTES + self.fixed_lengths.len() + self.payload.len());
-        out.extend_from_slice(&MAGIC);
-        out.push(self.lorenzo as u8);
-        out.push(self.dtype.to_byte());
-        out.extend_from_slice(&self.num_elements.to_le_bytes());
-        out.extend_from_slice(&self.block_len.to_le_bytes());
-        out.extend_from_slice(&self.eb.to_le_bytes());
-        out.extend_from_slice(&self.fixed_lengths);
-        out.extend_from_slice(&self.payload);
-        out
+    /// Borrow this stream's fractions as a [`CompressedRef`].
+    pub fn as_ref(&self) -> CompressedRef<'_> {
+        CompressedRef {
+            num_elements: self.num_elements,
+            block_len: self.block_len,
+            eb: self.eb,
+            lorenzo: self.lorenzo,
+            dtype: self.dtype,
+            fixed_lengths: &self.fixed_lengths,
+            payload: &self.payload,
+        }
     }
 
-    /// Deserialize a stream produced by [`Compressed::to_bytes`].
+    /// Serialize to a standalone byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.as_ref().to_bytes()
+    }
+
+    /// Stream the serialized form to a writer without building an
+    /// intermediate buffer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.as_ref().write_to(w)
+    }
+
+    /// Deserialize a stream produced by [`Compressed::to_bytes`] into an
+    /// owned value (one copy of each fraction). For copy-free decoding
+    /// straight out of a buffer, use [`CompressedRef::parse`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Compressed, FormatError> {
+        CompressedRef::parse(bytes).map(|r| r.to_owned())
+    }
+
+    /// Cheap structural sanity check: payload length matches Eq 2
+    /// **exactly** — neither truncated nor overlong. The fast decoder
+    /// ([`crate::fast`]) preallocates its output and slices the payload
+    /// at Eq-2 offsets without further bounds checks, so an overlong
+    /// payload must be rejected here, not tolerated.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        CuszpConfig {
+            block_len: self.block_len as usize,
+            lorenzo: self.lorenzo,
+        }
+        .validate();
+        if self.fixed_lengths.len() != self.num_blocks() {
+            return Err(FormatError::Corrupt("fixed-length array size"));
+        }
+        if self.expected_payload_bytes() != self.payload.len() as u64 {
+            return Err(FormatError::Corrupt("payload size vs Eq 2"));
+        }
+        Ok(())
+    }
+}
+
+/// A compressed stream whose fractions are *borrowed* — from a serialized
+/// buffer, an owned [`Compressed`], or an arena output buffer.
+///
+/// Everything the decoder needs is here; [`crate::fast::decompress_into`]
+/// consumes this form, so streams parsed out of a container or a file
+/// never copy their payload just to be decoded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressedRef<'a> {
+    /// Element count of the original array.
+    pub num_elements: u64,
+    /// Block length `L` used.
+    pub block_len: u32,
+    /// The *absolute* error bound the stream was quantized with.
+    pub eb: f64,
+    /// Whether Lorenzo prediction was applied.
+    pub lorenzo: bool,
+    /// Element type of the original data.
+    pub dtype: DType,
+    /// Fraction ⓐ: fixed length `F` per block (`num_blocks` bytes).
+    pub fixed_lengths: &'a [u8],
+    /// Fraction ⓑ: concatenated per-block sign maps + bit planes.
+    pub payload: &'a [u8],
+}
+
+impl<'a> CompressedRef<'a> {
+    /// Zero-copy deserialization: the same checks as
+    /// [`Compressed::from_bytes`], but the fractions are slices into
+    /// `bytes` instead of fresh allocations.
+    pub fn parse(bytes: &'a [u8]) -> Result<CompressedRef<'a>, FormatError> {
         if bytes.len() < HEADER_BYTES {
             return Err(FormatError::Truncated);
         }
@@ -127,7 +200,7 @@ impl Compressed {
         if bytes.len() < fl_end {
             return Err(FormatError::Truncated);
         }
-        let fixed_lengths = bytes[HEADER_BYTES..fl_end].to_vec();
+        let fixed_lengths = &bytes[HEADER_BYTES..fl_end];
         if fixed_lengths.iter().any(|&f| f > 64) {
             return Err(FormatError::Corrupt("fixed length exceeds 64 bits"));
         }
@@ -135,14 +208,14 @@ impl Compressed {
             .iter()
             .map(|&f| cmp_bytes_for(f, block_len as usize) as u64)
             .sum();
-        let payload = bytes[fl_end..].to_vec();
+        let payload = &bytes[fl_end..];
         if (payload.len() as u64) < expected {
             return Err(FormatError::Truncated);
         }
         if (payload.len() as u64) > expected {
             return Err(FormatError::Corrupt("trailing bytes"));
         }
-        Ok(Compressed {
+        Ok(CompressedRef {
             num_elements,
             block_len,
             eb,
@@ -153,11 +226,45 @@ impl Compressed {
         })
     }
 
-    /// Cheap structural sanity check: payload length matches Eq 2
-    /// **exactly** — neither truncated nor overlong. The fast decoder
-    /// ([`crate::fast`]) preallocates its output and slices the payload
-    /// at Eq-2 offsets without further bounds checks, so an overlong
-    /// payload must be rejected here, not tolerated.
+    /// Copy the fractions into an owned [`Compressed`].
+    pub fn to_owned(&self) -> Compressed {
+        Compressed {
+            num_elements: self.num_elements,
+            block_len: self.block_len,
+            eb: self.eb,
+            lorenzo: self.lorenzo,
+            dtype: self.dtype,
+            fixed_lengths: self.fixed_lengths.to_vec(),
+            payload: self.payload.to_vec(),
+        }
+    }
+
+    /// Number of blocks (`⌈N / L⌉`).
+    pub fn num_blocks(&self) -> usize {
+        (self.num_elements as usize).div_ceil(self.block_len as usize)
+    }
+
+    /// The paper's compressed size: fixed-length bytes + payload.
+    pub fn stream_bytes(&self) -> u64 {
+        (self.fixed_lengths.len() + self.payload.len()) as u64
+    }
+
+    /// Stream size plus the file header.
+    pub fn total_bytes(&self) -> u64 {
+        self.stream_bytes() + HEADER_BYTES as u64
+    }
+
+    /// Expected payload size from the fixed lengths (Eq 2 per block).
+    pub fn expected_payload_bytes(&self) -> u64 {
+        self.fixed_lengths
+            .iter()
+            .map(|&f| cmp_bytes_for(f, self.block_len as usize) as u64)
+            .sum()
+    }
+
+    /// Structural sanity check — identical to [`Compressed::validate`]:
+    /// the fast decoder trusts Eq-2 offsets for direct payload slicing,
+    /// so the payload length must match **exactly**.
     pub fn validate(&self) -> Result<(), FormatError> {
         CuszpConfig {
             block_len: self.block_len as usize,
@@ -171,6 +278,35 @@ impl Compressed {
             return Err(FormatError::Corrupt("payload size vs Eq 2"));
         }
         Ok(())
+    }
+
+    /// Append the serialized header to `out` (the fractions follow it in
+    /// the wire format).
+    pub(crate) fn header_bytes(&self) -> [u8; HEADER_BYTES] {
+        let mut h = [0u8; HEADER_BYTES];
+        h[..6].copy_from_slice(&MAGIC);
+        h[6] = self.lorenzo as u8;
+        h[7] = self.dtype.to_byte();
+        h[8..16].copy_from_slice(&self.num_elements.to_le_bytes());
+        h[16..20].copy_from_slice(&self.block_len.to_le_bytes());
+        h[20..28].copy_from_slice(&self.eb.to_le_bytes());
+        h
+    }
+
+    /// Serialize to a standalone byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes() as usize);
+        out.extend_from_slice(&self.header_bytes());
+        out.extend_from_slice(self.fixed_lengths);
+        out.extend_from_slice(self.payload);
+        out
+    }
+
+    /// Stream the serialized form to a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.header_bytes())?;
+        w.write_all(self.fixed_lengths)?;
+        w.write_all(self.payload)
     }
 }
 
@@ -251,6 +387,40 @@ mod tests {
         let mut c = sample();
         c.payload.pop();
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ref_parse_is_zero_copy_and_equivalent() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        let r = CompressedRef::parse(&bytes).unwrap();
+        r.validate().unwrap();
+        assert_eq!(r.to_owned(), c);
+        assert_eq!(c.as_ref(), r);
+        // The fractions are slices into `bytes`, not copies.
+        let payload_start = bytes.len() - c.payload.len();
+        assert!(std::ptr::eq(
+            r.payload.as_ptr(),
+            bytes[payload_start..].as_ptr()
+        ));
+        assert_eq!(r.stream_bytes(), c.stream_bytes());
+        assert_eq!(r.total_bytes(), c.total_bytes());
+    }
+
+    #[test]
+    fn ref_parse_rejects_what_from_bytes_rejects() {
+        let mut bytes = sample().to_bytes();
+        assert!(CompressedRef::parse(&bytes[..bytes.len() - 1]).is_err());
+        bytes[0] = b'X';
+        assert_eq!(CompressedRef::parse(&bytes), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn write_to_matches_to_bytes() {
+        let c = sample();
+        let mut streamed = Vec::new();
+        c.write_to(&mut streamed).unwrap();
+        assert_eq!(streamed, c.to_bytes());
     }
 
     #[test]

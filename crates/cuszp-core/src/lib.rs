@@ -53,10 +53,11 @@ pub mod simd;
 pub mod verify;
 
 pub use archive::{Archive, Entry};
-pub use chunked::ChunkedCompressed;
+pub use chunked::{chunk_refs, ChunkedCompressed, ChunkedReader};
 pub use config::{CuszpConfig, ErrorBound, DEFAULT_BLOCK_LEN};
 pub use dtype::{DType, FloatData};
-pub use format::{Compressed, FormatError};
+pub use fast::Scratch;
+pub use format::{Compressed, CompressedRef, FormatError};
 pub use kernels::{
     compress_kernel, compressed_h2d, decompress_kernel, DeviceCompressed, STEP_BB, STEP_FE,
     STEP_GS, STEP_QP,
@@ -153,6 +154,37 @@ impl Cuszp {
         fast::compress_threaded(data, eb, self.config, threads)
     }
 
+    /// Compress into a caller-owned output buffer with a caller-owned
+    /// [`Scratch`] arena — the zero-allocation steady-state entry point.
+    ///
+    /// `out` receives the complete serialized stream (the bytes are
+    /// byte-identical to [`Cuszp::compress`] + [`Compressed::to_bytes`])
+    /// and the returned [`CompressedRef`] borrows it. After the first
+    /// call at a given shape, repeat calls perform **zero heap
+    /// allocations** — see the [`fast`] module docs.
+    pub fn compress_into<'a, T: FloatData>(
+        &self,
+        scratch: &mut Scratch,
+        data: &[T],
+        bound: ErrorBound,
+        out: &'a mut Vec<u8>,
+    ) -> CompressedRef<'a> {
+        let eb = self.resolve_bound(data, bound);
+        fast::compress_into(scratch, data, eb, self.config, out)
+    }
+
+    /// Decompress into a caller-owned slice with a caller-owned
+    /// [`Scratch`] arena: zero heap allocations once the arena is warm.
+    /// `out.len()` must equal the stream's element count.
+    pub fn decompress_into<T: FloatData>(
+        &self,
+        c: &Compressed,
+        scratch: &mut Scratch,
+        out: &mut [T],
+    ) {
+        fast::decompress_into(c.as_ref(), scratch, out)
+    }
+
     /// Decompress on the host to the stream's element type.
     pub fn decompress<T: FloatData>(&self, c: &Compressed) -> Vec<T> {
         fast::decompress(c)
@@ -193,11 +225,37 @@ impl Cuszp {
 
     /// Decompress a chunked container, concatenating the chunks in order.
     pub fn decompress_chunked<T: FloatData>(&self, c: &ChunkedCompressed) -> Vec<T> {
-        let mut out = Vec::with_capacity(c.total_elements() as usize);
+        let mut scratch = Scratch::new();
+        let mut out = vec![T::default(); c.total_elements() as usize];
+        let mut at = 0usize;
         for chunk in &c.chunks {
-            out.extend(fast::decompress::<T>(chunk));
+            let n = chunk.num_elements as usize;
+            fast::decompress_into(chunk.as_ref(), &mut scratch, &mut out[at..at + n]);
+            at += n;
         }
         out
+    }
+
+    /// Decompress a **serialized** chunked container directly from its
+    /// bytes, copy-free: chunk payloads are decoded as borrowed slices of
+    /// `bytes` ([`chunk_refs`]) — no frame is ever cloned, and one
+    /// [`Scratch`] arena serves every chunk. This is the path to point at
+    /// a memory-mapped archive.
+    pub fn decompress_container_bytes<T: FloatData>(
+        &self,
+        bytes: &[u8],
+    ) -> Result<Vec<T>, FormatError> {
+        let refs = chunk_refs(bytes)?;
+        let total: u64 = refs.iter().map(|r| r.num_elements).sum();
+        let mut scratch = Scratch::new();
+        let mut out = vec![T::default(); total as usize];
+        let mut at = 0usize;
+        for r in refs {
+            let n = r.num_elements as usize;
+            fast::decompress_into(r, &mut scratch, &mut out[at..at + n]);
+            at += n;
+        }
+        Ok(out)
     }
 
     /// Compress on the device in a single fused kernel. `eb` is absolute.

@@ -1,0 +1,136 @@
+//! The zero-allocation steady-state contract, proven executable: with
+//! the counting allocator installed as this binary's global allocator,
+//! the second `compress_into` / `decompress_into` call at a given shape
+//! must perform **zero** heap operations.
+
+use cuszp_core::{fast, CompressedRef, CuszpConfig, Scratch};
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+fn wave(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| (i as f32 * 0.021).sin() * 55.0 + (i as f32 * 0.0013).cos() * 7.0)
+        .collect()
+}
+
+/// Run `f` and return the number of heap operations it performed.
+fn heap_ops_of(f: impl FnOnce()) -> u64 {
+    let before = alloc_counter::snapshot();
+    f();
+    alloc_counter::snapshot().since(&before).heap_ops()
+}
+
+#[test]
+fn second_call_allocates_nothing() {
+    // The data allocation itself proves the counter is live — if the
+    // counting allocator were not installed, the zero assertions below
+    // would pass vacuously.
+    let data = wave(10_000);
+    assert!(
+        alloc_counter::is_installed(),
+        "counting allocator must be this binary's #[global_allocator]"
+    );
+
+    let cfg = CuszpConfig::default();
+    let mut scratch = Scratch::new();
+    let mut stream = Vec::new();
+    let mut restored = vec![0f32; data.len()];
+
+    // Warm-up: grows the arena and the output buffer.
+    fast::compress_into(&mut scratch, &data, 0.01, cfg, &mut stream);
+    fast::decompress_into(
+        CompressedRef::parse(&stream).expect("own output parses"),
+        &mut scratch,
+        &mut restored,
+    );
+
+    // Steady state, single-threaded: zero heap operations of any kind.
+    let compress_ops = heap_ops_of(|| {
+        fast::compress_into(&mut scratch, &data, 0.01, cfg, &mut stream);
+    });
+    assert_eq!(compress_ops, 0, "compress_into must not touch the heap");
+
+    let decompress_ops = heap_ops_of(|| {
+        fast::decompress_into(
+            CompressedRef::parse(&stream).expect("own output parses"),
+            &mut scratch,
+            &mut restored,
+        );
+    });
+    assert_eq!(decompress_ops, 0, "decompress_into must not touch the heap");
+}
+
+#[test]
+fn steady_state_survives_content_changes() {
+    // Same shape, different values (different per-block F / payload
+    // sizes): capacity is shape-dependent only, so still zero heap ops.
+    let cfg = CuszpConfig::default();
+    let mut scratch = Scratch::new();
+    let mut stream = Vec::new();
+    let n = 4096;
+    let mut restored = vec![0f32; n];
+    let signal = wave(n + 64);
+
+    fast::compress_into(&mut scratch, &signal[..n], 0.01, cfg, &mut stream);
+    fast::decompress_into(
+        cuszp_core::CompressedRef::parse(&stream).expect("own output parses"),
+        &mut scratch,
+        &mut restored,
+    );
+    let ops = heap_ops_of(|| {
+        for shift in 1..64 {
+            let window = &signal[shift..shift + n];
+            let r = fast::compress_into(&mut scratch, window, 0.01, cfg, &mut stream);
+            fast::decompress_into(r, &mut scratch, &mut restored);
+        }
+    });
+    assert_eq!(ops, 0, "63 same-shape round trips must not touch the heap");
+}
+
+#[test]
+fn f64_steady_state_is_also_clean() {
+    let data: Vec<f64> = (0..5000)
+        .map(|i| (i as f64 * 0.017).sin() * 900.0)
+        .collect();
+    let cfg = CuszpConfig::default();
+    let mut scratch = Scratch::new();
+    let mut stream = Vec::new();
+    let mut restored = vec![0f64; data.len()];
+
+    fast::compress_into(&mut scratch, &data, 0.05, cfg, &mut stream);
+    fast::decompress_into(
+        cuszp_core::CompressedRef::parse(&stream).expect("own output parses"),
+        &mut scratch,
+        &mut restored,
+    );
+    let ops = heap_ops_of(|| {
+        let r = fast::compress_into(&mut scratch, &data, 0.05, cfg, &mut stream);
+        fast::decompress_into(r, &mut scratch, &mut restored);
+    });
+    assert_eq!(ops, 0);
+}
+
+#[test]
+fn shrinking_the_shape_stays_clean() {
+    // Monotonic growth means a smaller follow-up shape is already
+    // covered by the warm arena — no resize in either direction.
+    let cfg = CuszpConfig::default();
+    let big = wave(8192);
+    let small = wave(1024);
+    let mut scratch = Scratch::new();
+    let mut stream = Vec::new();
+    let mut restored = vec![0f32; big.len()];
+
+    fast::compress_into(&mut scratch, &big, 0.01, cfg, &mut stream);
+    fast::decompress_into(
+        cuszp_core::CompressedRef::parse(&stream).expect("own output parses"),
+        &mut scratch,
+        &mut restored,
+    );
+    let ops = heap_ops_of(|| {
+        let r = fast::compress_into(&mut scratch, &small, 0.01, cfg, &mut stream);
+        fast::decompress_into(r, &mut scratch, &mut restored[..small.len()]);
+    });
+    assert_eq!(ops, 0, "smaller shape after a larger warm-up must be free");
+}

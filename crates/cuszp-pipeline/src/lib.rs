@@ -293,6 +293,10 @@ fn worker_loop<T: FloatData>(
     let mut stats = StreamStats::new(id);
     // One simulated GPU per worker = one stream with its own timeline.
     let mut gpu = device.map(Gpu::new);
+    // Long-lived per-worker arena: after the first chunk warms it up, the
+    // host codec's only allocations per chunk are the two output Vecs the
+    // result owns — no intermediate buffer is ever reallocated.
+    let mut scratch = fast::Scratch::new();
     loop {
         // Guard dropped at the end of the statement: the lock is held only
         // while drawing one job, not while compressing it.
@@ -309,8 +313,8 @@ fn worker_loop<T: FloatData>(
             }
             // Workers are already parallel across chunks, so each runs
             // the fast codec single-threaded (byte-identical to the
-            // host_ref oracle either way).
-            None => fast::compress(slice, job.eb, codec),
+            // host_ref oracle either way), reusing this worker's arena.
+            None => fast::compress_with(&mut scratch, slice, job.eb, codec, 1),
         };
         stats.chunks += 1;
         stats.bytes_in += std::mem::size_of_val(slice) as u64;

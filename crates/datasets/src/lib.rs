@@ -25,6 +25,7 @@ pub mod field;
 pub mod hacc;
 pub mod hurricane;
 pub mod io;
+pub mod mmap;
 pub mod nyx;
 pub mod qmcpack;
 pub mod registry;
@@ -32,4 +33,5 @@ pub mod rtm;
 pub mod spectral;
 
 pub use field::Field;
+pub use mmap::{map_f32_le, map_f64_le, MappedSlice};
 pub use registry::{generate, generate_subset, DatasetId, Scale};

@@ -2,6 +2,7 @@
 //! and regenerates its artifact, printing paper-vs-measured values.
 
 pub mod ablations;
+pub mod alloc_profile;
 pub mod fig01_motivation;
 pub mod fig06_cdf;
 pub mod fig07_smoothness;
@@ -132,6 +133,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "host_codec",
             "Host codec throughput: host_ref vs word-parallel fast codec",
             host_codec::run as Runner,
+        ),
+        (
+            "alloc_profile",
+            "Small-payload throughput: allocating API vs zero-allocation arena API",
+            alloc_profile::run as Runner,
         ),
         (
             "ablations",

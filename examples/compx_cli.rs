@@ -41,7 +41,11 @@ fn main() -> ExitCode {
         println!("[demo] wrote {} ({} values)", path.display(), field.len());
     }
 
-    let data = match datasets::io::read_f32_le(&path) {
+    // Zero-copy load: the file is memory-mapped (falling back to a
+    // buffered read where mapping is unavailable) and compressed straight
+    // out of the page cache — the input-side analogue of the paper's
+    // no-intermediate-buffer design.
+    let data = match datasets::mmap::map_f32_le(&path) {
         Ok(d) if !d.is_empty() => d,
         Ok(_) => {
             eprintln!("{}: empty file", path.display());

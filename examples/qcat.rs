@@ -10,8 +10,11 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-fn load(path: &str) -> Result<Vec<f32>, String> {
-    datasets::io::read_f32_le(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+// Zero-copy load: qcat inputs are often full-size SDRBench fields, and
+// every subcommand only reads them — a memory-mapped view avoids the
+// read-to-Vec copy entirely (with a transparent buffered-read fallback).
+fn load(path: &str) -> Result<datasets::MappedSlice<f32>, String> {
+    datasets::mmap::map_f32_le(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn compare_data(orig: &str, recon: &str) -> Result<(), String> {
@@ -67,7 +70,7 @@ fn plot_slice(data: &str, dims: &[usize], slice: usize, out: &str) -> Result<(),
             a.len()
         ));
     }
-    let field = datasets::Field::new("plot", dims.to_vec(), a);
+    let field = datasets::Field::new("plot", dims.to_vec(), a.to_vec());
     let (h, w, plane) = field.slice2d(slice);
     metrics::image::write_ppm(Path::new(out), h, w, &plane).map_err(|e| e.to_string())?;
     println!("Image file is plotted and put here: {out}");

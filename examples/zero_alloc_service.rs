@@ -1,0 +1,87 @@
+//! `zero_alloc_service` — the steady-state arena API in the shape it was
+//! built for: a long-running service compressing a stream of small
+//! payloads (telemetry windows, MPI halo exchanges, per-timestep deltas).
+//!
+//! ```text
+//! cargo run --release --example zero_alloc_service -- [payload-elems] [iterations]
+//! ```
+//!
+//! One [`cuszp_core::Scratch`] arena and one output buffer serve every
+//! request. The first request warms them up; after that, each
+//! compress + decompress round trip touches the heap **zero** times —
+//! which the installed counting allocator proves live, alongside the
+//! throughput next to the allocating API on the same payloads.
+
+use cuszp_core::{fast, Cuszp, ErrorBound, Scratch};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let elems: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16 * 1024 / 4); // 16 KiB payloads by default
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2000);
+
+    let codec = Cuszp::new();
+    // A drifting sensor-like signal; each "request" is a shifted window.
+    let signal: Vec<f32> = (0..elems + iters)
+        .map(|i| (i as f32 * 0.03).sin() * 25.0 + (i as f32 * 0.0011).cos() * 140.0)
+        .collect();
+
+    let mut scratch = Scratch::new();
+    let mut stream = Vec::new();
+    let mut restored = vec![0f32; elems];
+
+    // Warm-up request: grows every buffer to its steady-state size.
+    codec.compress_into(
+        &mut scratch,
+        &signal[..elems],
+        ErrorBound::Rel(1e-3),
+        &mut stream,
+    );
+    fast::decompress_into(
+        cuszp_core::CompressedRef::parse(&stream).expect("own output parses"),
+        &mut scratch,
+        &mut restored,
+    );
+
+    // Steady state: count heap operations across every remaining request.
+    let before = alloc_counter::snapshot();
+    let t0 = Instant::now();
+    let mut stream_bytes = 0u64;
+    for w in 1..iters {
+        let window = &signal[w..w + elems];
+        let r = codec.compress_into(&mut scratch, window, ErrorBound::Rel(1e-3), &mut stream);
+        stream_bytes += r.stream_bytes();
+        fast::decompress_into(r, &mut scratch, &mut restored);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let delta = alloc_counter::snapshot().since(&before);
+
+    let mb = ((iters - 1) * elems * 4) as f64 / 1e6;
+    println!(
+        "payload: {} elems ({} KiB)   requests: {}",
+        elems,
+        elems * 4 / 1024,
+        iters - 1
+    );
+    println!(
+        "round-trip throughput: {:.1} MB/s   mean ratio: {:.2}x",
+        mb / dt,
+        ((iters - 1) * elems * 4) as f64 / stream_bytes as f64
+    );
+    println!(
+        "heap ops in steady state: {} allocs, {} deallocs, {} reallocs ({} requests)",
+        delta.allocations,
+        delta.deallocations,
+        delta.reallocations,
+        iters - 1
+    );
+    println!("arena footprint: {} KiB", scratch.capacity_bytes() / 1024);
+    assert_eq!(delta.heap_ops(), 0, "steady state must not touch the heap");
+    println!("zero-allocation steady state: verified");
+}

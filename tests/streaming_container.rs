@@ -1,0 +1,126 @@
+//! Integration coverage for the streaming container I/O and the
+//! copy-free decode path: `write_to`/`read_from`/`ChunkedReader` must
+//! agree byte-for-byte with the materializing `to_bytes`/`from_bytes`
+//! pair, and decoding borrowed chunk views must reproduce the owned
+//! decode exactly.
+
+use cuszp_repro::cuszp_core::{
+    chunked, fast, ChunkedCompressed, ChunkedReader, Cuszp, ErrorBound, Scratch,
+};
+use std::io::Cursor;
+
+fn container(seeds: &[(usize, f32)]) -> (ChunkedCompressed, Vec<Vec<f32>>) {
+    let codec = Cuszp::new();
+    let mut c = ChunkedCompressed::new();
+    let mut fields = Vec::new();
+    for &(n, seed) in seeds {
+        let data: Vec<f32> = (0..n)
+            .map(|i| (i as f32 * 0.013 + seed).sin() * 90.0)
+            .collect();
+        // Abs bound: chunks of one element have value range 0, which a
+        // REL bound cannot resolve.
+        c.push(codec.compress(&data, ErrorBound::Abs(0.01)));
+        fields.push(data);
+    }
+    (c, fields)
+}
+
+#[test]
+fn streamed_bytes_equal_materialized_bytes() {
+    let (c, _) = container(&[(5000, 0.0), (333, 1.0), (1, 2.0), (8192, 3.0)]);
+    let mut streamed = Vec::new();
+    c.write_to(&mut streamed).unwrap();
+    assert_eq!(streamed, c.to_bytes());
+
+    // Both decode paths agree with the original.
+    assert_eq!(ChunkedCompressed::from_bytes(&streamed).unwrap(), c);
+    assert_eq!(
+        ChunkedCompressed::read_from(&mut Cursor::new(&streamed)).unwrap(),
+        c
+    );
+}
+
+#[test]
+fn chunked_reader_decodes_chunkwise_in_constant_memory() {
+    let (c, fields) = container(&[(4096, 0.0), (100, 1.0), (2048, 2.0)]);
+    let bytes = c.to_bytes();
+    let codec = Cuszp::new();
+
+    let mut src = Cursor::new(&bytes);
+    let mut reader = ChunkedReader::new(&mut src).unwrap();
+    assert_eq!(reader.num_chunks(), 3);
+    // One arena serves every chunk; each borrowed view decodes straight
+    // out of the reader's frame buffer.
+    let mut scratch = Scratch::new();
+    let mut idx = 0;
+    while let Some(chunk) = reader.next_chunk().unwrap() {
+        let mut restored = vec![0f32; chunk.num_elements as usize];
+        fast::decompress_into(chunk, &mut scratch, &mut restored);
+        let owned: Vec<f32> = codec.decompress(&c.chunks[idx]);
+        assert_eq!(restored, owned, "chunk {idx}");
+        // And the lossy contract holds against the original field
+        // (modulo f32 representation rounding of the reconstruction).
+        for (&d, &r) in fields[idx].iter().zip(&restored) {
+            let slack = (d as f64).abs() * f32::EPSILON as f64 + f64::EPSILON;
+            assert!((d as f64 - r as f64).abs() <= c.chunks[idx].eb * (1.0 + 1e-6) + slack);
+        }
+        idx += 1;
+    }
+    assert_eq!(idx, 3);
+}
+
+#[test]
+fn copy_free_container_decode_matches_owned_decode() {
+    let codec = Cuszp::new();
+    let data: Vec<f32> = (0..20_000)
+        .map(|i| (i as f32 * 0.004).cos() * 12.0)
+        .collect();
+    let c = codec.compress_chunked(&data, ErrorBound::Rel(1e-3), 4096);
+    let bytes = c.to_bytes();
+
+    let borrowed: Vec<f32> = codec.decompress_container_bytes(&bytes).unwrap();
+    let owned: Vec<f32> = codec.decompress_chunked(&c);
+    assert_eq!(borrowed, owned);
+    assert_eq!(borrowed.len(), data.len());
+
+    // chunk_refs views point into `bytes` (copy-free), and reproduce the
+    // owned chunks exactly.
+    let refs = chunked::chunk_refs(&bytes).unwrap();
+    let range = bytes.as_ptr_range();
+    for (r, owned_chunk) in refs.iter().zip(&c.chunks) {
+        assert_eq!(&r.to_owned(), owned_chunk);
+        assert!(owned_chunk.payload.is_empty() || range.contains(&r.payload.as_ptr()));
+    }
+}
+
+#[test]
+fn compress_into_stream_parses_as_single_chunk_frame() {
+    // A compress_into output buffer is a complete wire-format stream, so
+    // it can be framed into a container verbatim.
+    let codec = Cuszp::new();
+    let data: Vec<f32> = (0..3000).map(|i| (i as f32 * 0.01).sin()).collect();
+    let mut scratch = Scratch::new();
+    let mut stream = Vec::new();
+    let r = codec
+        .compress_into(&mut scratch, &data, ErrorBound::Rel(1e-3), &mut stream)
+        .to_owned();
+    let owned = codec.compress(&data, ErrorBound::Rel(1e-3));
+    assert_eq!(r, owned);
+    assert_eq!(stream, owned.to_bytes());
+
+    let single = ChunkedCompressed::single(owned);
+    let container_bytes = single.to_bytes();
+    // The framed container embeds the compress_into bytes verbatim.
+    let tail = &container_bytes[container_bytes.len() - stream.len()..];
+    assert_eq!(tail, &stream[..]);
+}
+
+#[test]
+fn truncated_streaming_sources_error_cleanly() {
+    let (c, _) = container(&[(512, 0.0), (512, 1.0)]);
+    let bytes = c.to_bytes();
+    for cut in [3usize, 11, 20, bytes.len() - 1] {
+        let res = ChunkedCompressed::read_from(&mut Cursor::new(&bytes[..cut]));
+        assert!(res.is_err(), "cut at {cut} must fail");
+    }
+}
