@@ -1,5 +1,5 @@
 //! Multi-dimensional dual-quantization Lorenzo prediction — cuSZ's
-//! prediction stage (paper ref [33]).
+//! prediction stage (paper ref \[33\]).
 //!
 //! Dual quantization first pre-quantizes every value (`r = round(d/2eb)`),
 //! then predicts each `r` from its already-quantized neighbours with the

@@ -1,6 +1,6 @@
 //! cuSZ-like compressor: dual-quant multi-D Lorenzo + quantization codes +
 //! **CPU-built canonical Huffman**, as a multi-kernel pipeline (paper
-//! ref [33]).
+//! ref \[33\]).
 //!
 //! Pipeline structure (what Fig 13/14 measures):
 //!

@@ -1,5 +1,5 @@
 //! cuSZx-like compressor: constant-block flush + fixed-length encoding,
-//! with **CPU-side global synchronization** (paper refs [39], §5.3).
+//! with **CPU-side global synchronization** (paper refs \[39\], §5.3).
 //!
 //! Design reproduced from the paper's description:
 //!

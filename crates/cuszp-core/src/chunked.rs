@@ -154,8 +154,36 @@ impl ChunkedCompressed {
 /// the container buffer (which may itself be a memory-mapped file).
 ///
 /// Validation is identical to [`ChunkedCompressed::from_bytes`] — in fact
-/// `from_bytes` is this plus a deep copy per chunk.
+/// `from_bytes` is this plus a deep copy per chunk. The only allocation
+/// is the returned `Vec` itself; a steady-state consumer that must not
+/// touch the heap at all iterates with [`chunk_ref_iter`] instead.
 pub fn chunk_refs(bytes: &[u8]) -> Result<Vec<CompressedRef<'_>>, FormatError> {
+    chunk_ref_iter(bytes)?.collect()
+}
+
+/// Walk a serialized container's chunks **without allocating**: the
+/// framing (magic, count, length table, total size) is validated up
+/// front, then each call to [`Iterator::next`] parses one frame into a
+/// borrowed [`CompressedRef`]. This is the wire-decode path of the
+/// zero-allocation service — a request holding a container is decoded
+/// chunk by chunk with no heap traffic.
+///
+/// A corrupt *frame* (as opposed to corrupt framing) surfaces as an
+/// `Err` item at its position; iteration is fused after the last chunk.
+///
+/// ```
+/// use cuszp_core::{chunked, Cuszp, ErrorBound};
+/// let codec = Cuszp::new();
+/// let data: Vec<f32> = (0..500).map(|i| (i as f32 * 0.1).sin()).collect();
+/// let bytes = codec.compress_chunked(&data, ErrorBound::Abs(1e-3), 200).to_bytes();
+/// let mut elems = 0;
+/// for chunk in chunked::chunk_ref_iter(&bytes)? {
+///     elems += chunk?.num_elements;
+/// }
+/// assert_eq!(elems, 500);
+/// # Ok::<(), cuszp_core::FormatError>(())
+/// ```
+pub fn chunk_ref_iter(bytes: &[u8]) -> Result<ChunkRefIter<'_>, FormatError> {
     if bytes.len() < CONTAINER_HEADER_BYTES {
         return Err(FormatError::Truncated);
     }
@@ -171,7 +199,8 @@ pub fn chunk_refs(bytes: &[u8]) -> Result<Vec<CompressedRef<'_>>, FormatError> {
     if bytes.len() < table_end {
         return Err(FormatError::Truncated);
     }
-    let mut chunks = Vec::with_capacity(n);
+    // Validate the whole frame accounting up front (one arithmetic pass,
+    // no allocation), so framing errors surface before any chunk parses.
     let mut at = table_end as u64;
     for i in 0..n {
         let entry = CONTAINER_HEADER_BYTES + i * 8;
@@ -185,13 +214,66 @@ pub fn chunk_refs(bytes: &[u8]) -> Result<Vec<CompressedRef<'_>>, FormatError> {
         if end > bytes.len() as u64 {
             return Err(FormatError::Truncated);
         }
-        chunks.push(CompressedRef::parse(&bytes[at as usize..end as usize])?);
         at = end;
     }
     if at != bytes.len() as u64 {
         return Err(FormatError::Corrupt("trailing bytes after last chunk"));
     }
-    Ok(chunks)
+    Ok(ChunkRefIter {
+        bytes,
+        num_chunks: n,
+        next: 0,
+        at: table_end,
+    })
+}
+
+/// Allocation-free iterator over a serialized container's chunks; see
+/// [`chunk_ref_iter`].
+#[derive(Debug, Clone)]
+pub struct ChunkRefIter<'a> {
+    bytes: &'a [u8],
+    num_chunks: usize,
+    next: usize,
+    /// Byte offset of the next frame (framing pre-validated, so this
+    /// always stays in bounds).
+    at: usize,
+}
+
+impl<'a> ChunkRefIter<'a> {
+    /// Total chunks in the container.
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// Chunks not yet yielded.
+    pub fn remaining_chunks(&self) -> usize {
+        self.num_chunks - self.next
+    }
+}
+
+impl<'a> Iterator for ChunkRefIter<'a> {
+    type Item = Result<CompressedRef<'a>, FormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.num_chunks {
+            return None;
+        }
+        let entry = CONTAINER_HEADER_BYTES + self.next * 8;
+        let len = u64::from_le_bytes(
+            self.bytes[entry..entry + 8]
+                .try_into()
+                .expect("table bounds pre-validated"),
+        ) as usize;
+        let frame = &self.bytes[self.at..self.at + len];
+        self.next += 1;
+        self.at += len;
+        Some(CompressedRef::parse(frame))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.remaining_chunks();
+        (rem, Some(rem))
+    }
 }
 
 /// Sequential chunk-at-a-time container reader over any [`Read`] source.
@@ -369,6 +451,37 @@ mod tests {
         }
         // And the same malformed inputs fail identically.
         assert_eq!(chunk_refs(&bytes[..5]).unwrap_err(), FormatError::Truncated);
+    }
+
+    #[test]
+    fn chunk_ref_iter_matches_chunk_refs_without_allocating() {
+        let c = ChunkedCompressed {
+            chunks: vec![chunk(100, 0.0), chunk(33, 1.0), chunk(1, 2.0)],
+        };
+        let bytes = c.to_bytes();
+        let it = chunk_ref_iter(&bytes).unwrap();
+        assert_eq!(it.num_chunks(), 3);
+        let via_iter: Vec<_> = it.map(|r| r.unwrap().to_owned()).collect();
+        assert_eq!(via_iter, c.chunks);
+        // Framing errors surface at construction, same as chunk_refs.
+        assert_eq!(
+            chunk_ref_iter(&bytes[..5]).unwrap_err(),
+            FormatError::Truncated
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            chunk_ref_iter(&trailing),
+            Err(FormatError::Corrupt(_))
+        ));
+        // A corrupt frame surfaces as an Err item at its position.
+        let mut bad_frame = bytes.clone();
+        let first_frame_at = CONTAINER_HEADER_BYTES + 3 * 8;
+        bad_frame[first_frame_at] = b'X'; // break the first chunk's magic
+        let items: Vec<_> = chunk_ref_iter(&bad_frame).unwrap().collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], Err(FormatError::BadMagic));
+        assert!(items[1].is_ok() && items[2].is_ok());
     }
 
     #[test]

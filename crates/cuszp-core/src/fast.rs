@@ -113,7 +113,7 @@ struct WorkerScratch {
 /// Reusable workspace for the zero-allocation codec entry points.
 ///
 /// Holds the per-block `(F, CmpL)` scratch table, the Eq-2 prefix-sum
-/// workspace, the worker block ranges, and one [`WorkerScratch`] per
+/// workspace, the worker block ranges, and one `WorkerScratch` per
 /// worker. Buffers grow monotonically and are reused verbatim across
 /// calls — a *dirty* arena (left over from any prior call, any dtype,
 /// any size) never changes results, only allocation behavior. After the
@@ -151,6 +151,49 @@ impl Scratch {
                 .iter()
                 .map(|w| 8 * w.resid.capacity() + 8 * w.maxes.capacity() + w.staging.capacity())
                 .sum::<usize>()
+    }
+
+    /// Pre-grow every buffer a **sequential** [`compress_into`] /
+    /// [`decompress_into`] call for an `elems`-element array will touch,
+    /// so even the *first* request served with this arena performs zero
+    /// heap operations. A long-running service calls this once per
+    /// connection — at handshake time, when the tenant's declared maximum
+    /// payload is known — moving the warm-up cost off the request path
+    /// entirely (the arena lifecycle then matches the connection's).
+    ///
+    /// Warming is monotonic like every other arena operation: warming for
+    /// a smaller shape after a larger one is a no-op, and an arena warmed
+    /// for `elems` serves any request up to `elems` allocation-free.
+    ///
+    /// ```
+    /// use cuszp_core::{fast, CuszpConfig, Scratch};
+    /// let cfg = CuszpConfig::default();
+    /// let mut scratch = Scratch::new();
+    /// scratch.warm_for::<f32>(4096, cfg);
+    /// let mut out = Vec::with_capacity(fast::max_stream_bytes::<f32>(4096, cfg));
+    /// // This first call now performs zero heap allocations:
+    /// let data = vec![1.5f32; 4096];
+    /// fast::compress_into(&mut scratch, &data, 1e-3, cfg, &mut out);
+    /// ```
+    pub fn warm_for<T: crate::FloatData>(&mut self, elems: usize, cfg: CuszpConfig) {
+        cfg.validate();
+        let l = cfg.block_len;
+        let num_blocks = elems.div_ceil(l);
+        grow(&mut self.fls, num_blocks);
+        grow(&mut self.cmps, num_blocks);
+        grow(&mut self.offsets, num_blocks + 1);
+        if self.workers.is_empty() {
+            self.workers.resize_with(1, Default::default);
+        }
+        if self.ranges.capacity() == 0 {
+            self.ranges.reserve(1);
+        }
+        // The codec grows the tile buffers to a full tile regardless of
+        // the array size, so warming must match exactly.
+        let blocks_per_tile = (TILE_ELEMS / l).max(1);
+        let ws = &mut self.workers[0];
+        grow(&mut ws.resid, blocks_per_tile * l);
+        grow(&mut ws.maxes, blocks_per_tile);
     }
 
     /// Split `num_blocks` into at most `threads` contiguous non-empty
@@ -375,6 +418,19 @@ fn compress_core<T: FloatData>(
         .iter()
         .map(|&c| c as u64)
         .sum::<u64>()
+}
+
+/// Upper bound on the serialized stream size ([`compress_into`]'s output)
+/// for an `elems`-element array of `T`: header + one fixed-length byte
+/// per block + the Eq-2 worst-case payload at [`crate::DType::max_fixed_len`].
+/// This is exactly the reservation [`compress_into`] makes on its output
+/// buffer, so a `Vec` pre-reserved to this size never reallocates —
+/// which is how a service pre-warms a connection's response buffer at
+/// handshake time.
+pub fn max_stream_bytes<T: FloatData>(elems: usize, cfg: CuszpConfig) -> usize {
+    let num_blocks = elems.div_ceil(cfg.block_len);
+    let worst_block = cmp_bytes_for(T::DTYPE.max_fixed_len(), cfg.block_len) as usize;
+    crate::format::HEADER_BYTES + num_blocks + num_blocks * worst_block
 }
 
 /// Compress `data` under an **absolute** error bound `eb`, sequentially.

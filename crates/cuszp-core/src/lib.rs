@@ -37,6 +37,12 @@
 //! }
 //! assert!(compressed.stream_bytes() < 10_000 * 4 / 3); // ~3.5x on this signal
 //! ```
+//!
+//! The serialized forms of both the single-shot stream and the
+//! `CUSZPCH1` chunked container are specified byte-for-byte in
+//! `docs/FORMAT.md` at the repository root.
+
+#![deny(missing_docs)]
 
 pub mod archive;
 pub mod bitshuffle;
@@ -53,7 +59,7 @@ pub mod simd;
 pub mod verify;
 
 pub use archive::{Archive, Entry};
-pub use chunked::{chunk_refs, ChunkedCompressed, ChunkedReader};
+pub use chunked::{chunk_ref_iter, chunk_refs, ChunkRefIter, ChunkedCompressed, ChunkedReader};
 pub use config::{CuszpConfig, ErrorBound, DEFAULT_BLOCK_LEN};
 pub use dtype::{DType, FloatData};
 pub use fast::Scratch;

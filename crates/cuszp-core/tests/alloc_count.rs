@@ -112,6 +112,59 @@ fn f64_steady_state_is_also_clean() {
 }
 
 #[test]
+fn warmed_arena_makes_even_the_first_call_free() {
+    // `Scratch::warm_for` + a `max_stream_bytes` reservation move the
+    // warm-up allocations to handshake time: the FIRST compress and
+    // decompress at the declared shape already run allocation-free.
+    let cfg = CuszpConfig::default();
+    let data = wave(6000);
+    let mut scratch = Scratch::new();
+    scratch.warm_for::<f32>(data.len(), cfg);
+    let mut stream = Vec::with_capacity(fast::max_stream_bytes::<f32>(data.len(), cfg));
+    let mut restored = vec![0f32; data.len()];
+
+    let first_compress = heap_ops_of(|| {
+        fast::compress_into(&mut scratch, &data, 0.01, cfg, &mut stream);
+    });
+    assert_eq!(first_compress, 0, "warmed first compress must be free");
+    let first_decompress = heap_ops_of(|| {
+        fast::decompress_into(
+            CompressedRef::parse(&stream).expect("own output parses"),
+            &mut scratch,
+            &mut restored,
+        );
+    });
+    assert_eq!(first_decompress, 0, "warmed first decompress must be free");
+}
+
+#[test]
+fn container_iteration_is_allocation_free() {
+    // The wire-decode path of the service: walking a serialized CUSZPCH1
+    // container with `chunk_ref_iter` and decoding every chunk must not
+    // touch the heap once the arena is warm.
+    let data = wave(4096);
+    let container =
+        cuszp_core::Cuszp::new().compress_chunked(&data, cuszp_core::ErrorBound::Abs(0.01), 1024);
+    let bytes = container.to_bytes();
+    let mut scratch = Scratch::new();
+    let mut restored = vec![0f32; data.len()];
+
+    let decode_all = |scratch: &mut Scratch, restored: &mut [f32]| {
+        let mut at = 0usize;
+        for chunk in cuszp_core::chunk_ref_iter(&bytes).expect("container parses") {
+            let chunk = chunk.expect("chunk parses");
+            let n = chunk.num_elements as usize;
+            fast::decompress_into(chunk, scratch, &mut restored[at..at + n]);
+            at += n;
+        }
+        assert_eq!(at, data.len());
+    };
+    decode_all(&mut scratch, &mut restored); // warm-up
+    let ops = heap_ops_of(|| decode_all(&mut scratch, &mut restored));
+    assert_eq!(ops, 0, "container walk + decode must not touch the heap");
+}
+
+#[test]
 fn shrinking_the_shape_stays_clean() {
     // Monotonic growth means a smaller follow-up shape is already
     // covered by the warm arena — no resize in either direction.

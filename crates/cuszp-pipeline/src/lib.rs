@@ -36,16 +36,16 @@
 
 use cuszp_core::{fast, ChunkedCompressed, Compressed, CuszpConfig, ErrorBound, FloatData};
 use gpu_sim::{DeviceSpec, Gpu};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
+pub mod pool;
 pub mod stats;
 
-pub use stats::{BatchStats, StreamStats};
+pub use pool::{JobSource, Submitter, WorkerPool};
+pub use stats::{BatchStats, LatencyHistogram, ServiceMetrics, StreamStats};
 
 /// Pipeline shape: worker count, queue bound, chunking, codec.
 #[derive(Debug, Clone)]
@@ -151,37 +151,37 @@ pub struct BatchResult {
 /// [`finish`]: Pipeline::finish
 pub struct Pipeline<T: FloatData> {
     cfg: PipelineConfig,
-    job_tx: Option<SyncSender<Job<T>>>,
+    pool: Option<WorkerPool<Job<T>, StreamStats>>,
     done_rx: Receiver<Done>,
-    workers: Vec<JoinHandle<StreamStats>>,
     fields: Vec<FieldMeta>,
     started: Instant,
     in_flight: Arc<AtomicUsize>,
 }
 
 impl<T: FloatData> Pipeline<T> {
-    /// Spawn the worker pool.
+    /// Spawn the worker pool (a [`WorkerPool`] shared with the socket
+    /// service — same bounded admission queue, same drain semantics).
     pub fn new(cfg: PipelineConfig) -> Self {
         cfg.validate();
-        let (job_tx, job_rx) = sync_channel::<Job<T>>(cfg.queue_depth);
         let (done_tx, done_rx) = std::sync::mpsc::channel::<Done>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
         let in_flight = Arc::new(AtomicUsize::new(0));
-        let workers = (0..cfg.workers)
-            .map(|id| {
-                let rx = Arc::clone(&job_rx);
-                let tx = done_tx.clone();
-                let in_flight = Arc::clone(&in_flight);
-                let codec = cfg.codec;
-                let device = cfg.device.clone();
-                std::thread::spawn(move || worker_loop(id, rx, tx, in_flight, codec, device))
-            })
-            .collect();
+        let worker_in_flight = Arc::clone(&in_flight);
+        let codec = cfg.codec;
+        let device = cfg.device.clone();
+        let pool = WorkerPool::new(cfg.workers, cfg.queue_depth, move |id, src| {
+            worker_loop(
+                id,
+                src,
+                done_tx.clone(),
+                Arc::clone(&worker_in_flight),
+                codec,
+                device.clone(),
+            )
+        });
         Pipeline {
             cfg,
-            job_tx: Some(job_tx),
+            pool: Some(pool),
             done_rx,
-            workers,
             fields: Vec::new(),
             started: Instant::now(),
             in_flight,
@@ -218,12 +218,12 @@ impl<T: FloatData> Pipeline<T> {
         }
         let eb = bound.absolute(cuszp_core::value_range(&data));
         let data = Arc::new(data);
-        let tx = self.job_tx.as_ref().expect("pipeline not finished");
+        let pool = self.pool.as_ref().expect("pipeline not finished");
         for chunk in 0..num_chunks {
             let start = chunk * self.cfg.chunk_elems;
             let end = (start + self.cfg.chunk_elems).min(data.len());
             self.in_flight.fetch_add(1, Ordering::Relaxed);
-            tx.send(Job {
+            pool.submit(Job {
                 field: idx,
                 chunk,
                 data: Arc::clone(&data),
@@ -231,20 +231,15 @@ impl<T: FloatData> Pipeline<T> {
                 end,
                 eb,
                 submitted,
-            })
-            .expect("worker pool alive");
+            });
         }
         idx
     }
 
     /// Close the queue, drain the pool, and assemble the batch.
     pub fn finish(mut self) -> BatchResult {
-        drop(self.job_tx.take()); // close the queue: workers exit at EOF
-        let streams: Vec<StreamStats> = self
-            .workers
-            .drain(..)
-            .map(|h| h.join().expect("worker panicked"))
-            .collect();
+        // Close the queue: workers drain every queued job, then exit.
+        let streams = self.pool.take().expect("finish called once").close();
         let wall_seconds = self.started.elapsed().as_secs_f64();
 
         // Assemble per-field containers in submission/chunk order.
@@ -284,7 +279,7 @@ impl<T: FloatData> Pipeline<T> {
 
 fn worker_loop<T: FloatData>(
     id: usize,
-    rx: Arc<Mutex<Receiver<Job<T>>>>,
+    src: JobSource<Job<T>>,
     tx: Sender<Done>,
     in_flight: Arc<AtomicUsize>,
     codec: CuszpConfig,
@@ -297,13 +292,9 @@ fn worker_loop<T: FloatData>(
     // host codec's only allocations per chunk are the two output Vecs the
     // result owns — no intermediate buffer is ever reallocated.
     let mut scratch = fast::Scratch::new();
-    loop {
-        // Guard dropped at the end of the statement: the lock is held only
-        // while drawing one job, not while compressing it.
-        let job = match rx.lock().recv() {
-            Ok(j) => j,
-            Err(_) => break, // queue closed and drained
-        };
+    // `JobSource::next` holds the queue lock only while drawing one job,
+    // never while compressing it.
+    while let Some(job) = src.next() {
         let t0 = Instant::now();
         let slice = &job.data[job.start..job.end];
         let compressed = match gpu.as_mut() {

@@ -1,0 +1,244 @@
+//! A bounded-admission worker pool, factored out of [`crate::Pipeline`]
+//! so batch compression and the long-running socket service
+//! (`cuszp-service`) share one pool implementation.
+//!
+//! The shape mirrors a CUDA stream pool: `workers` threads each drain a
+//! single **bounded** job queue. The queue bound is the admission policy —
+//! [`WorkerPool::submit`] blocks (backpressure, the batch pipeline's
+//! behavior), while [`WorkerPool::try_submit`] fails fast and hands the
+//! job back (the service's overload behavior: reply `BUSY` instead of
+//! stalling a client). Each worker runs a caller-supplied loop body over a
+//! [`JobSource`] and returns a summary value collected at [`close`].
+//!
+//! Steady-state submissions perform **no heap allocations**: the queue is
+//! a rendezvous/array channel and jobs move by value.
+//!
+//! [`close`]: WorkerPool::close
+
+use parking_lot::Mutex;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The receiving end a worker loop drains: a shared handle to the pool's
+/// bounded job queue.
+pub struct JobSource<J> {
+    rx: Arc<Mutex<Receiver<J>>>,
+}
+
+impl<J> JobSource<J> {
+    /// Block for the next job. `None` once the queue is closed (every
+    /// sender dropped) **and** drained — the worker's signal to exit.
+    ///
+    /// The internal lock is held only while drawing one job, never while
+    /// the caller processes it.
+    pub fn next(&self) -> Option<J> {
+        self.rx.lock().recv().ok()
+    }
+}
+
+/// A pool of worker threads over one bounded job queue.
+///
+/// `J` is the job type (moved to a worker by value); `R` is the per-worker
+/// summary returned by each worker's loop body (e.g.
+/// [`crate::StreamStats`]) and collected by [`WorkerPool::close`].
+pub struct WorkerPool<J, R> {
+    tx: Option<SyncSender<J>>,
+    handles: Vec<JoinHandle<R>>,
+}
+
+impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
+    /// Spawn `workers` threads, each running `body(worker_index, source)`
+    /// to completion. `queue_depth` bounds jobs *queued* (not yet drawn by
+    /// a worker); `0` makes the queue a rendezvous — a submission is
+    /// admitted only when a worker is ready to take it.
+    pub fn new<F>(workers: usize, queue_depth: usize, body: F) -> Self
+    where
+        F: Fn(usize, JobSource<J>) -> R + Send + Sync + 'static,
+    {
+        assert!(workers >= 1, "worker pool needs at least one worker");
+        let (tx, rx) = sync_channel::<J>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let body = Arc::new(body);
+        let handles = (0..workers)
+            .map(|id| {
+                let source = JobSource {
+                    rx: Arc::clone(&rx),
+                };
+                let body = Arc::clone(&body);
+                std::thread::spawn(move || body(id, source))
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit a job, blocking while the queue is full (backpressure).
+    ///
+    /// # Panics
+    /// Panics if the pool's workers have all exited (the queue has no
+    /// receiver left) — a bug in the worker body, not a load condition.
+    pub fn submit(&self, job: J) {
+        self.tx
+            .as_ref()
+            .expect("pool not closed")
+            .send(job)
+            .expect("worker pool alive");
+    }
+
+    /// Submit a job only if the queue has room **right now**; on a full
+    /// queue the job is handed back untouched so the caller can reply
+    /// `BUSY` (or retry) without blocking.
+    pub fn try_submit(&self, job: J) -> Result<(), J> {
+        match self.tx.as_ref().expect("pool not closed").try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => Err(j),
+        }
+    }
+
+    /// A clonable submitter handle, so each service connection can submit
+    /// without sharing the pool itself. The pool drains and its workers
+    /// exit only after the pool **and** every handle are closed/dropped.
+    pub fn handle(&self) -> Submitter<J> {
+        Submitter {
+            tx: self.tx.as_ref().expect("pool not closed").clone(),
+        }
+    }
+
+    /// Close the queue, wait for the workers to drain every queued job,
+    /// and collect their summaries (in worker-index order).
+    ///
+    /// Outstanding [`Submitter`] handles keep the queue open; workers exit
+    /// once those are dropped too.
+    pub fn close(mut self) -> Vec<R> {
+        drop(self.tx.take());
+        self.handles
+            .drain(..)
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    }
+}
+
+/// A clonable job submitter for a [`WorkerPool`] (see
+/// [`WorkerPool::handle`]).
+pub struct Submitter<J> {
+    tx: SyncSender<J>,
+}
+
+impl<J> Clone for Submitter<J> {
+    fn clone(&self) -> Self {
+        Submitter {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<J> Submitter<J> {
+    /// Non-blocking submit; hands the job back if the queue is full or
+    /// the pool is gone. See [`WorkerPool::try_submit`].
+    pub fn try_submit(&self, job: J) -> Result<(), J> {
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => Err(j),
+        }
+    }
+
+    /// Blocking submit. See [`WorkerPool::submit`].
+    pub fn submit(&self, job: J) {
+        self.tx.send(job).expect("worker pool alive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_and_collects_summaries() {
+        let pool: WorkerPool<usize, usize> = WorkerPool::new(3, 4, |_, src| {
+            let mut sum = 0;
+            while let Some(j) = src.next() {
+                sum += j;
+            }
+            sum
+        });
+        for j in 1..=100 {
+            pool.submit(j);
+        }
+        let sums = pool.close();
+        assert_eq!(sums.len(), 3);
+        assert_eq!(sums.iter().sum::<usize>(), 5050);
+    }
+
+    #[test]
+    fn try_submit_reports_full_queue() {
+        // One worker parked on a gate; rendezvous queue: the first job is
+        // taken by the waiting worker, the second has nowhere to go.
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let pool: WorkerPool<u32, ()> = WorkerPool::new(1, 0, move |_, src| {
+            while let Some(_j) = src.next() {
+                while g.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        pool.submit(1); // rendezvous: accepted the moment the worker takes it
+                        // Worker is now spinning on the gate; queue has capacity 0.
+        let mut saw_full = false;
+        for _ in 0..1000 {
+            if let Err(j) = pool.try_submit(7) {
+                assert_eq!(j, 7); // job handed back untouched
+                saw_full = true;
+                break;
+            }
+        }
+        assert!(saw_full, "try_submit must fail while the worker is busy");
+        gate.store(1, Ordering::Release);
+        pool.close();
+    }
+
+    #[test]
+    fn close_drains_queued_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let pool: WorkerPool<u32, ()> = WorkerPool::new(2, 8, move |_, src| {
+            while src.next().is_some() {
+                d.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for _ in 0..50 {
+            pool.submit(0);
+        }
+        pool.close();
+        assert_eq!(done.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn submitter_handles_keep_pool_open() {
+        let pool: WorkerPool<u32, u32> = WorkerPool::new(1, 2, |_, src| {
+            let mut n = 0;
+            while src.next().is_some() {
+                n += 1;
+            }
+            n
+        });
+        let h = pool.handle();
+        let t = std::thread::spawn(move || {
+            for _ in 0..10 {
+                h.submit(1);
+            }
+            // handle dropped here
+        });
+        t.join().unwrap();
+        assert_eq!(pool.close(), vec![10]);
+    }
+}

@@ -19,6 +19,7 @@ pub mod gpus;
 pub mod host_codec;
 pub mod pipeline_scaling;
 pub mod rate_distortion;
+pub mod service_load;
 pub mod table3_ratio;
 
 use datasets::Scale;
@@ -138,6 +139,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "alloc_profile",
             "Small-payload throughput: allocating API vs zero-allocation arena API",
             alloc_profile::run as Runner,
+        ),
+        (
+            "service_load",
+            "Service sustained throughput and p99 latency vs concurrent clients",
+            service_load::run as Runner,
         ),
         (
             "ablations",

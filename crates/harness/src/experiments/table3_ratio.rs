@@ -22,7 +22,7 @@ use gpu_sim::DeviceSpec;
 use metrics::rate::RatioSummary;
 use serde::Serialize;
 
-/// Paper Table 3 average CRs, indexed [compressor][dataset][bound] with
+/// Paper Table 3 average CRs, indexed `[compressor][dataset][bound]` with
 /// bounds ordered 1e-1, 1e-2, 1e-3, 1e-4 and datasets in Table 2 order.
 /// `None` marks the paper's "n/a" (cuSZ crashes).
 pub const PAPER_AVG: [[[Option<f64>; 4]; 6]; 3] = [

@@ -1,6 +1,6 @@
 //! Windowed structural similarity (SSIM) for 1-D to 4-D fields.
 //!
-//! Follows Wang et al. 2004 (the paper's reference [35]) with the standard
+//! Follows Wang et al. 2004 (the paper's reference \[35\]) with the standard
 //! constants `K1 = 0.01`, `K2 = 0.03` and the original field's value range
 //! as the dynamic range `L`. Windows are hypercubes slid with a stride, and
 //! the global SSIM is the mean over windows — the same construction QCAT's

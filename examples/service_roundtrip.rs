@@ -1,0 +1,104 @@
+//! `service_roundtrip` — the socket service end to end in one process:
+//! start a server, connect as a tenant, run compress/decompress round
+//! trips over real TCP, scrape the live metrics, shut down gracefully.
+//!
+//! ```text
+//! cargo run --release --example service_roundtrip -- [payload-elems] [requests]
+//! ```
+//!
+//! This is the worked migration from the in-process `zero_alloc_service`
+//! example to the wire: the same arena discipline, but the `Scratch`
+//! lives server-side per connection, warmed at handshake from the
+//! tenant's declared payload cap, and every payload crosses a socket as
+//! a `CUSZPCH1` container (docs/SERVICE.md walks through the mapping).
+
+use cuszp_core::{DType, ErrorBound};
+use cuszp_service::{Client, Server, ServiceConfig, Tenant};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let elems: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16 * 1024); // 64 KiB payloads by default
+    let requests: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    let server = Server::start(ServiceConfig::default()).expect("bind service");
+    println!("service listening on {}", server.addr());
+
+    let tenant = Tenant {
+        tenant_id: 1,
+        dtype: DType::F32,
+        bound: ErrorBound::Abs(1e-2),
+        max_payload: (elems * 4) as u32,
+    };
+    let mut client = Client::connect(server.addr(), tenant).expect("connect");
+    println!(
+        "tenant {} connected: dtype f32, bound ABS 1e-2, payload cap {} KiB",
+        tenant.tenant_id,
+        client.effective_max_payload() / 1024
+    );
+
+    let data: Vec<f32> = (0..elems)
+        .map(|i| (i as f32 * 0.03).sin() * 25.0 + (i as f32 * 0.0011).cos() * 140.0)
+        .collect();
+    let mut container = Vec::new();
+    let mut restored: Vec<f32> = Vec::new();
+
+    // Warm-up round trip (the handshake already warmed the server side;
+    // this warms the client's reusable buffers).
+    container.extend_from_slice(client.compress_f32(&data).expect("compress"));
+    client
+        .decompress_f32(&container, &mut restored)
+        .expect("decompress");
+
+    let before = alloc_counter::snapshot();
+    let t0 = Instant::now();
+    for _ in 0..requests {
+        let c = client.compress_f32(&data).expect("compress");
+        container.clear();
+        container.extend_from_slice(c);
+        client
+            .decompress_f32(&container, &mut restored)
+            .expect("decompress");
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let delta = alloc_counter::snapshot().since(&before);
+
+    let mb = (requests * elems * 4) as f64 / 1e6;
+    println!(
+        "{} round trips over TCP: {:.1} MB/s, ratio {:.2}x",
+        requests,
+        2.0 * mb / dt, // compress + decompress both move the raw payload
+        (elems * 4) as f64 / container.len() as f64
+    );
+    println!(
+        "steady-state heap ops across server + client: {}",
+        delta.heap_ops()
+    );
+
+    let mut metrics = String::new();
+    client.metrics_into(&mut metrics).expect("metrics scrape");
+    println!("--- /metrics ---");
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        println!("{line}");
+    }
+
+    drop(client);
+    let jobs = server.shutdown();
+    println!("--- shutdown: drained, {jobs} jobs served ---");
+
+    // Smoke-test contract (CI runs this example): traffic flowed, the
+    // bound held, and the steady state stayed off the heap.
+    assert_eq!(jobs as usize, 2 * (requests + 1));
+    assert!(
+        cuszp_core::verify::check_bound(&data, &restored, 1e-2),
+        "error bound violated"
+    );
+    assert_eq!(delta.heap_ops(), 0, "steady state must not touch the heap");
+    println!("service round trip: verified");
+}

@@ -217,7 +217,7 @@ pub mod strategy {
         }
     }
 
-    /// Weighted union of strategies (the engine behind [`prop_oneof!`]).
+    /// Weighted union of strategies (the engine behind `prop_oneof!`).
     pub struct Union<T> {
         arms: Vec<(u32, BoxedStrategy<T>)>,
         total: u64,
@@ -376,7 +376,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -421,7 +421,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy [`vec`] returns.
+    /// The strategy [`vec()`] returns.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
