@@ -737,6 +737,103 @@ pub fn decompress_into<T: FloatData>(c: CompressedRef<'_>, scratch: &mut Scratch
     decompress_into_threaded(c, 1, scratch, out)
 }
 
+/// Decode **only** blocks `[blocks.start, blocks.end)` of a stream into
+/// `out` — the block-granular random-access entry point.
+///
+/// `out` must cover exactly the elements those blocks hold:
+/// `min(blocks.end·L, N) − blocks.start·L` (the final block may be
+/// ragged). Returns the number of **payload bytes read** — the Eq-2 span
+/// of the requested blocks — which is what a random-access store asserts
+/// its bytes-touched accounting against: nothing outside that span plus
+/// fraction ⓐ is ever dereferenced.
+///
+/// Like [`decompress_into`], the stream is accepted in borrowed form, so
+/// a block read out of a container or a memory-mapped shard decodes
+/// without the payload ever being copied; with a warm [`Scratch`] the
+/// call performs **zero heap allocations**. Fraction ⓐ is scanned up to
+/// `blocks.end` to rebuild the offsets (the per-block offset table is
+/// never stored — paper Eq 2), so cost scales with the *position* of the
+/// range in the F table but the payload traffic scales only with the
+/// range *size*.
+///
+/// # Panics
+/// Panics if the stream metadata is structurally invalid, the dtype
+/// mismatches `T`, the block range is out of bounds, `out` has the wrong
+/// length, or the payload ends before the requested span does.
+pub fn decompress_blocks_into<T: FloatData>(
+    c: CompressedRef<'_>,
+    blocks: std::ops::Range<usize>,
+    scratch: &mut Scratch,
+    out: &mut [T],
+) -> usize {
+    assert_eq!(c.dtype, T::DTYPE, "stream element type mismatch");
+    let l = c.block_len as usize;
+    assert!(
+        l > 0 && l.is_multiple_of(8),
+        "invalid stream: bad block length"
+    );
+    assert!(
+        c.eb.is_finite() && c.eb > 0.0,
+        "invalid stream: bad error bound"
+    );
+    let num_blocks = c.num_blocks();
+    assert_eq!(
+        c.fixed_lengths.len(),
+        num_blocks,
+        "invalid stream: fixed-length table size"
+    );
+    let (b0, b1) = (blocks.start, blocks.end);
+    assert!(b0 <= b1 && b1 <= num_blocks, "block range out of bounds");
+    let n = c.num_elements as usize;
+    let covered = (b1 * l).min(n).saturating_sub(b0 * l);
+    assert_eq!(
+        out.len(),
+        covered,
+        "output slice length != elements covered by the block range"
+    );
+    if b0 == b1 {
+        return 0;
+    }
+
+    // Eq-2 prefix scan up to the range end. Offsets before `b0` fold into
+    // a running sum; only the range's own entries are materialized (the
+    // slots below `b0` in the arena are left stale — never read).
+    let offsets = grow(&mut scratch.offsets, b1 + 1);
+    let mut acc = 0u64;
+    for (b, &f) in c.fixed_lengths[..b1].iter().enumerate() {
+        assert!(f <= 64, "invalid stream: fixed length exceeds 64");
+        if b >= b0 {
+            offsets[b] = acc;
+        }
+        acc += cmp_bytes_for(f, l) as u64;
+    }
+    offsets[b1] = acc;
+    let span = (offsets[b1] - offsets[b0]) as usize;
+    // The decoder slices the payload at these offsets without further
+    // bounds checks, so the span end must be in bounds *before* decoding.
+    assert!(
+        acc <= c.payload.len() as u64,
+        "invalid stream: payload shorter than the Eq-2 span of the requested blocks"
+    );
+
+    if scratch.workers.is_empty() {
+        scratch.workers.resize_with(1, Default::default);
+    }
+    decode_blocks(
+        &c.fixed_lengths[b0..b1],
+        &scratch.offsets[..b1 + 1],
+        c.payload,
+        l,
+        b0,
+        n,
+        c.eb,
+        c.lorenzo,
+        &mut scratch.workers[0],
+        out,
+    );
+    span
+}
+
 /// [`decompress_into`] with `threads` workers (`0` ⇒ host parallelism).
 /// Identical output for every thread count.
 pub fn decompress_into_threaded<T: FloatData>(
@@ -1049,6 +1146,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn decompress_blocks_matches_full_decode_slices() {
+        let data = wave(3 * 32 * 41 + 19); // ragged final block
+        let cfg = CuszpConfig::default();
+        let c = compress(&data, 0.01, cfg);
+        let full: Vec<f32> = decompress(&c);
+        let n = data.len();
+        let l = cfg.block_len;
+        let num_blocks = c.num_blocks();
+        let mut scratch = Scratch::new();
+        let mut tile = vec![0f32; n];
+        for (b0, b1) in [
+            (0usize, 1usize),
+            (0, num_blocks),
+            (5, 6),
+            (7, 40),
+            (num_blocks - 1, num_blocks), // the ragged tail alone
+            (3, 3),                       // empty range
+        ] {
+            let covered = (b1 * l).min(n) - (b0 * l).min(n);
+            let out = &mut tile[..covered];
+            let read = decompress_blocks_into(c.as_ref(), b0..b1, &mut scratch, out);
+            assert_eq!(out, &full[b0 * l..(b1 * l).min(n)], "blocks {b0}..{b1}");
+            // Bytes read match the exported Eq-2 span exactly.
+            assert_eq!(read, c.payload_span(b0..b1).unwrap().len());
+        }
+    }
+
+    #[test]
+    fn decompress_blocks_zero_and_wide_blocks() {
+        // Mix zero blocks (F = 0) with wide residuals in one stream.
+        let mut data = vec![0.0f32; 8 * 32];
+        for (i, v) in data.iter_mut().enumerate().skip(3 * 32).take(32) {
+            *v = (i as f32 * 0.37).sin() * 3.0e7;
+        }
+        let c = compress(&data, 1e-4, CuszpConfig::default());
+        let full: Vec<f32> = decompress(&c);
+        let mut scratch = Scratch::new();
+        for b in 0..8 {
+            let mut out = vec![0f32; 32];
+            let read = decompress_blocks_into(c.as_ref(), b..b + 1, &mut scratch, &mut out);
+            assert_eq!(out, full[b * 32..(b + 1) * 32], "block {b}");
+            if b == 3 {
+                assert!(read > 0);
+            } else {
+                assert_eq!(read, 0, "zero block {b} reads no payload");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block range out of bounds")]
+    fn decompress_blocks_rejects_out_of_range() {
+        let c = compress(&wave(100), 0.01, CuszpConfig::default());
+        let mut out = vec![0f32; 32];
+        decompress_blocks_into(c.as_ref(), 4..5, &mut Scratch::new(), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload shorter")]
+    fn decompress_blocks_rejects_truncated_payload() {
+        let mut c = compress(&wave(100), 0.01, CuszpConfig::default());
+        c.payload.truncate(c.payload.len() - 1);
+        // The last block is ragged: 100 − 3·32 = 4 elements.
+        let mut out = vec![0f32; 4];
+        decompress_blocks_into(c.as_ref(), 3..4, &mut Scratch::new(), &mut out);
     }
 
     #[test]

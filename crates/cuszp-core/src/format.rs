@@ -45,6 +45,13 @@ pub struct Compressed {
 }
 
 /// Errors decoding a serialized stream.
+///
+/// Marked `#[non_exhaustive]`: future format revisions may add failure
+/// modes, and downstream matches must keep a wildcard arm. Every variant
+/// is *reachable from bytes* — `tests/container_errors.rs` constructs
+/// each one from a concrete malformed input, so no dead variants
+/// accumulate behind the attribute.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FormatError {
     /// Wrong magic bytes or version.
@@ -122,6 +129,15 @@ impl Compressed {
     /// straight out of a buffer, use [`CompressedRef::parse`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Compressed, FormatError> {
         CompressedRef::parse(bytes).map(|r| r.to_owned())
+    }
+
+    /// Byte span of blocks `blocks` within the payload; see
+    /// [`CompressedRef::payload_span`].
+    pub fn payload_span(
+        &self,
+        blocks: std::ops::Range<usize>,
+    ) -> Result<std::ops::Range<usize>, FormatError> {
+        self.as_ref().payload_span(blocks)
     }
 
     /// Cheap structural sanity check: payload length matches Eq 2
@@ -260,6 +276,47 @@ impl<'a> CompressedRef<'a> {
             .iter()
             .map(|&f| cmp_bytes_for(f, self.block_len as usize) as u64)
             .sum()
+    }
+
+    /// Byte span the payload bytes of blocks `blocks` occupy — the Eq-2
+    /// prefix sum over fraction ⓐ, exported for partial decoders.
+    ///
+    /// This is the block-offset table of the paper's Fig 2, computed on
+    /// demand instead of stored: a random-access reader asks for the span
+    /// of the blocks overlapping its request and reads (or decodes) only
+    /// those payload bytes. Runs in `O(blocks.end)` over the fixed-length
+    /// bytes and allocates nothing.
+    ///
+    /// Errors if the range is out of bounds, a scanned fixed length
+    /// exceeds 64 bits, or the payload ends before the span does — the
+    /// same conditions [`CompressedRef::parse`] rejects, so a parsed
+    /// stream never fails here.
+    pub fn payload_span(
+        &self,
+        blocks: std::ops::Range<usize>,
+    ) -> Result<std::ops::Range<usize>, FormatError> {
+        if blocks.start > blocks.end || blocks.end > self.num_blocks() {
+            return Err(FormatError::Corrupt("block range out of bounds"));
+        }
+        if self.fixed_lengths.len() != self.num_blocks() {
+            return Err(FormatError::Corrupt("fixed-length array size"));
+        }
+        let mut start = 0u64;
+        let mut end = 0u64;
+        for (b, &f) in self.fixed_lengths[..blocks.end].iter().enumerate() {
+            if f > 64 {
+                return Err(FormatError::Corrupt("fixed length exceeds 64 bits"));
+            }
+            let cmp = cmp_bytes_for(f, self.block_len as usize) as u64;
+            if b < blocks.start {
+                start += cmp;
+            }
+            end += cmp;
+        }
+        if end > self.payload.len() as u64 {
+            return Err(FormatError::Truncated);
+        }
+        Ok(start as usize..end as usize)
     }
 
     /// Structural sanity check — identical to [`Compressed::validate`]:
@@ -421,6 +478,38 @@ mod tests {
         let mut streamed = Vec::new();
         c.write_to(&mut streamed).unwrap();
         assert_eq!(streamed, c.to_bytes());
+    }
+
+    #[test]
+    fn payload_span_matches_eq2_prefix_sums() {
+        // Three blocks: F = 3 (16 bytes), F = 0 (0 bytes), F = 1 (8 bytes).
+        let c = Compressed {
+            num_elements: 96,
+            block_len: 32,
+            eb: 0.01,
+            lorenzo: true,
+            dtype: DType::F32,
+            fixed_lengths: vec![3, 0, 1],
+            payload: vec![0xCD; 24],
+        };
+        c.validate().unwrap();
+        assert_eq!(c.payload_span(0..3).unwrap(), 0..24);
+        assert_eq!(c.payload_span(0..1).unwrap(), 0..16);
+        assert_eq!(c.payload_span(1..2).unwrap(), 16..16); // zero block
+        assert_eq!(c.payload_span(2..3).unwrap(), 16..24);
+        assert_eq!(c.payload_span(1..1).unwrap(), 16..16); // empty range
+        assert!(c.payload_span(2..4).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert!(c.payload_span(2..1).is_err());
+        }
+        // A truncated payload fails once the span passes its end.
+        let mut short = c;
+        short.payload.truncate(10);
+        assert_eq!(short.payload_span(0..1), Err(FormatError::Truncated));
+        // Even a zero-byte span is rejected once it sits past the payload
+        // end — conservative, since the stream is corrupt either way.
+        assert_eq!(short.payload_span(1..2), Err(FormatError::Truncated));
     }
 
     #[test]

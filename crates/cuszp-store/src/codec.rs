@@ -1,0 +1,224 @@
+//! The [`ErrorBoundedCodec`] trait and its three implementations.
+//!
+//! A codec is a self-describing byte-stream format with block-granular
+//! partial decode: `decode_blocks(range)` reconstructs exactly the
+//! elements covered by a block range, reading only those blocks' payload
+//! bytes. All three implementations are copy-free (they parse borrowed
+//! views over the frame bytes — never materialize the payload) and
+//! allocation-free after warm-up (scratch lives in [`CodecScratch`] or on
+//! the stack).
+
+use crate::error::StoreError;
+use baselines::{cuszx, cuzfp};
+use cuszp_core::{fast, CompressedRef, CuszpConfig, DType, Scratch};
+use std::ops::Range;
+
+/// 4-byte codec identifier persisted in shard chunk entries.
+pub type FormatId = [u8; 4];
+
+/// Reusable per-codec scratch. One instance serves every registered
+/// codec; with warm buffers a partial decode performs zero heap
+/// allocations (the cuSZx/cuZFP adapters use only stack arrays, cuSZp
+/// uses the arena).
+#[derive(Default)]
+pub struct CodecScratch {
+    /// Arena for the cuSZp fast codec (offsets + worker state).
+    pub cuszp: Scratch,
+}
+
+impl CodecScratch {
+    /// Fresh, cold scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// An error-bounded (or, for cuZFP, fixed-rate) codec with block-granular
+/// partial decode over its own self-describing byte-stream format.
+///
+/// # Contract
+///
+/// * `encode` replaces `out` with a frame that `num_elements` and the
+///   decode methods accept; the frame embeds everything needed to decode
+///   (no out-of-band metadata).
+/// * `decode_blocks(stream, b0..b1, ..)` writes exactly
+///   `min(b1·L, N) − min(b0·L, N)` elements (`L = block_len()`, `N` the
+///   frame's element count; the final block may be ragged), value-
+///   identical to decoding the whole frame and slicing. It returns the
+///   payload bytes it read — the basis of the store's bytes-touched
+///   accounting — and must read **only** the requested blocks' payload
+///   plus per-block metadata.
+/// * Corrupt frame bytes yield `Err`, never a panic or an over-read.
+///   Out-of-range block ranges or wrong `out` lengths are caller bugs and
+///   may panic.
+/// * If `is_error_bounded()`, every decoded value is within `eb` of its
+///   original (the conformance suite enforces this table-wide).
+pub trait ErrorBoundedCodec {
+    /// Persisted identifier resolving this codec at read time.
+    fn format_id(&self) -> FormatId;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+    /// Whether `encode`'s `eb` is honored as an absolute bound.
+    fn is_error_bounded(&self) -> bool {
+        true
+    }
+    /// Values per block — the granularity of partial decode.
+    fn block_len(&self) -> usize;
+    /// Compress `data` at absolute bound `eb` into `out` (contents
+    /// replaced, capacity reused).
+    fn encode(&self, data: &[f32], eb: f64, scratch: &mut CodecScratch, out: &mut Vec<u8>);
+    /// Element count a frame declares (validating the frame on the way).
+    fn num_elements(&self, stream: &[u8]) -> Result<usize, StoreError>;
+    /// Decode blocks `blocks` into `out`; returns payload bytes read.
+    fn decode_blocks(
+        &self,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [f32],
+    ) -> Result<usize, StoreError>;
+    /// Decode a whole frame (`out.len()` must equal its element count).
+    fn decode_into(
+        &self,
+        stream: &[u8],
+        scratch: &mut CodecScratch,
+        out: &mut [f32],
+    ) -> Result<usize, StoreError> {
+        let n = self.num_elements(stream)?;
+        assert_eq!(out.len(), n, "output slice length != frame element count");
+        let num_blocks = n.div_ceil(self.block_len());
+        self.decode_blocks(stream, 0..num_blocks, scratch, out)
+    }
+}
+
+/// cuSZp frames (`CUSZP1`): quantize + Lorenzo, fixed-length blocks of
+/// 32, Eq-2 offsets recomputed from fraction ⓐ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CuszpCodec;
+
+impl CuszpCodec {
+    fn config() -> CuszpConfig {
+        CuszpConfig::default()
+    }
+
+    fn parse(stream: &[u8]) -> Result<CompressedRef<'_>, StoreError> {
+        let r = CompressedRef::parse(stream)?;
+        if r.dtype != DType::F32 {
+            return Err(StoreError::Corrupt("store frames are f32"));
+        }
+        Ok(r)
+    }
+}
+
+impl ErrorBoundedCodec for CuszpCodec {
+    fn format_id(&self) -> FormatId {
+        *b"CZP1"
+    }
+    fn name(&self) -> &'static str {
+        "cuszp"
+    }
+    fn block_len(&self) -> usize {
+        Self::config().block_len
+    }
+    fn encode(&self, data: &[f32], eb: f64, scratch: &mut CodecScratch, out: &mut Vec<u8>) {
+        fast::compress_into(&mut scratch.cuszp, data, eb, Self::config(), out);
+    }
+    fn num_elements(&self, stream: &[u8]) -> Result<usize, StoreError> {
+        Ok(Self::parse(stream)?.num_elements as usize)
+    }
+    fn decode_blocks(
+        &self,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [f32],
+    ) -> Result<usize, StoreError> {
+        let r = Self::parse(stream)?;
+        Ok(fast::decompress_blocks_into(
+            r,
+            blocks,
+            &mut scratch.cuszp,
+            out,
+        ))
+    }
+}
+
+/// cuSZx frames (`CUSZXH1`): constant-block flush + midpoint fixed-length
+/// encoding, blocks of 128, offsets prefix-summed from the descriptor
+/// table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CuszxCodec;
+
+impl ErrorBoundedCodec for CuszxCodec {
+    fn format_id(&self) -> FormatId {
+        *b"CZX1"
+    }
+    fn name(&self) -> &'static str {
+        "cuszx"
+    }
+    fn block_len(&self) -> usize {
+        cuszx::BLOCK
+    }
+    fn encode(&self, data: &[f32], eb: f64, _scratch: &mut CodecScratch, out: &mut Vec<u8>) {
+        cuszx::host::compress(data, eb, out);
+    }
+    fn num_elements(&self, stream: &[u8]) -> Result<usize, StoreError> {
+        Ok(cuszx::host::HostStream::parse(stream)?.num_elements)
+    }
+    fn decode_blocks(
+        &self,
+        stream: &[u8],
+        blocks: Range<usize>,
+        _scratch: &mut CodecScratch,
+        out: &mut [f32],
+    ) -> Result<usize, StoreError> {
+        let s = cuszx::host::HostStream::parse(stream)?;
+        Ok(s.decode_blocks(blocks, out))
+    }
+}
+
+/// cuZFP frames (`CUZFPH1`): fixed-rate transform coding, 1-D blocks of
+/// 4, block offsets are pure multiplications. **Not error-bounded** —
+/// `encode`'s `eb` is ignored; quality is set by the rate.
+#[derive(Debug, Clone, Copy)]
+pub struct CuzfpCodec {
+    /// Bits per value (1..=32).
+    pub rate: u32,
+}
+
+impl Default for CuzfpCodec {
+    fn default() -> Self {
+        CuzfpCodec { rate: 16 }
+    }
+}
+
+impl ErrorBoundedCodec for CuzfpCodec {
+    fn format_id(&self) -> FormatId {
+        *b"CZF1"
+    }
+    fn name(&self) -> &'static str {
+        "cuzfp"
+    }
+    fn is_error_bounded(&self) -> bool {
+        false
+    }
+    fn block_len(&self) -> usize {
+        cuzfp::host::BLOCK
+    }
+    fn encode(&self, data: &[f32], _eb: f64, _scratch: &mut CodecScratch, out: &mut Vec<u8>) {
+        cuzfp::host::compress(data, self.rate, out);
+    }
+    fn num_elements(&self, stream: &[u8]) -> Result<usize, StoreError> {
+        Ok(cuzfp::host::HostStream::parse(stream)?.num_elements)
+    }
+    fn decode_blocks(
+        &self,
+        stream: &[u8],
+        blocks: Range<usize>,
+        _scratch: &mut CodecScratch,
+        out: &mut [f32],
+    ) -> Result<usize, StoreError> {
+        let s = cuzfp::host::HostStream::parse(stream)?;
+        Ok(s.decode_blocks(blocks, out))
+    }
+}

@@ -1,0 +1,39 @@
+//! Block-granular random access over error-bounded compressed data.
+//!
+//! cuSZp's Eq-2 prefix sum already yields exact per-block byte offsets,
+//! yet reading one field from an archive normally means decompressing an
+//! entire stream — the gap SZx and cuSZ+ note between throughput-oriented
+//! fixed-length designs and query-style scientific workloads. This crate
+//! closes it in three layers:
+//!
+//! 1. [`ErrorBoundedCodec`] — encode/decode plus `decode_blocks(range)`
+//!    partial decode, implemented by cuSZp (via
+//!    [`cuszp_core::CompressedRef`] and the recomputed `(F, CmpL)` offset
+//!    table) and adapted for the `baselines` compressors (cuSZx via its
+//!    descriptor table, cuZFP via fixed-rate multiplication).
+//! 2. [`CodecRegistry`] — runtime dispatch keyed by a 4-byte format id,
+//!    so a stored shard names its codec and readers resolve it at open.
+//! 3. [`Shard`] — an n-D array split into chunks, each chunk one
+//!    compressed frame, with a persisted chunk index (`CUSZPIX1` +
+//!    `CUSZPFT1` footer). A region read touches only the chunks — and
+//!    within each chunk only the 32-value (codec-defined) blocks — that
+//!    overlap the request, copy-free over the shard bytes and zero-alloc
+//!    after warm-up via the [`StoreScratch`] arena.
+//!
+//! The partial-read path is pinned by differential tests (value-identical
+//! to full-decode-then-slice), a bytes-touched accounting check, and a
+//! counting-allocator proof of the zero-alloc claim.
+
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod index;
+pub mod registry;
+pub mod store;
+
+pub use codec::{CodecScratch, CuszpCodec, CuszxCodec, CuzfpCodec, ErrorBoundedCodec, FormatId};
+pub use error::StoreError;
+pub use index::{ChunkEntry, ShardIndex};
+pub use registry::CodecRegistry;
+pub use store::{write_shard, ReadStats, Shard, StoreScratch};

@@ -1,0 +1,558 @@
+//! The sharded store: n-D array → chunk grid → compressed frames, read
+//! back region-at-a-time through the block-granular codec layer.
+//!
+//! A shard is a single byte buffer (file, mmap, network blob): frames
+//! back to back, then the [`ShardIndex`] and footer (see
+//! [`crate::index`]). [`write_shard`] produces one; [`Shard::open`]
+//! validates the index once, and [`Shard::read_region`] then serves
+//! arbitrary axis-aligned sub-regions touching only the chunks — and
+//! within each chunk only the codec blocks — that overlap the request.
+//!
+//! The read path is **copy-free** over the shard (frames decode straight
+//! out of the borrowed bytes via each codec's `parse`, never
+//! materialized) and **zero-alloc after warm-up**: all loop state lives
+//! in fixed `[usize; MAX_DIMS]` arrays and the only buffers — the decode
+//! tile and the codec arena — grow monotonically inside
+//! [`StoreScratch`].
+
+use crate::codec::{CodecScratch, ErrorBoundedCodec};
+use crate::error::StoreError;
+use crate::index::{ChunkEntry, ShardIndex, MAX_DIMS};
+use crate::registry::CodecRegistry;
+
+/// Reusable buffers for shard reads. Warm it with one read of the
+/// largest region you'll request; subsequent reads of any shape allocate
+/// nothing.
+#[derive(Default)]
+pub struct StoreScratch {
+    /// Per-codec scratch (cuSZp arena; the other codecs use the stack).
+    pub codec: CodecScratch,
+    /// Decode tile covering one run's block span (monotonic growth).
+    tile: Vec<f32>,
+}
+
+impl StoreScratch {
+    /// Fresh, cold scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Accounting of one region read — the basis of the bytes-touched
+/// assertions in the `partial_read` experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Chunks whose frames were opened.
+    pub chunks_touched: usize,
+    /// Codec blocks decoded (duplicates counted: two runs in one chunk
+    /// may share a boundary block).
+    pub blocks_decoded: usize,
+    /// Compressed payload bytes read across all `decode_blocks` calls.
+    pub payload_bytes_read: usize,
+}
+
+fn c_strides(dims: &[usize], out: &mut [usize; MAX_DIMS]) {
+    let d = dims.len();
+    out[d - 1] = 1;
+    for i in (0..d - 1).rev() {
+        out[i] = out[i + 1] * dims[i + 1];
+    }
+}
+
+fn grow(buf: &mut Vec<f32>, need: usize) -> &mut [f32] {
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+    buf
+}
+
+/// Compress `data` (C-order, `shape`) into a self-contained shard:
+/// chunks of `chunk_shape` (edge chunks clamp), each encoded by `codec`
+/// at absolute bound `eb`, followed by the index and footer.
+pub fn write_shard(
+    data: &[f32],
+    shape: &[usize],
+    chunk_shape: &[usize],
+    codec: &dyn ErrorBoundedCodec,
+    eb: f64,
+) -> Result<Vec<u8>, StoreError> {
+    let ndim = shape.len();
+    if ndim == 0 || ndim > MAX_DIMS || chunk_shape.len() != ndim {
+        return Err(StoreError::Shape("rank must be 1..=8, shapes same rank"));
+    }
+    if shape.iter().chain(chunk_shape).any(|&d| d == 0) {
+        return Err(StoreError::Shape("zero dimension"));
+    }
+    let total: usize = shape.iter().product();
+    if data.len() != total {
+        return Err(StoreError::Shape("data length != shape product"));
+    }
+
+    let mut grid = [1usize; MAX_DIMS];
+    for i in 0..ndim {
+        grid[i] = shape[i].div_ceil(chunk_shape[i]);
+    }
+    let num_chunks: usize = grid[..ndim].iter().product();
+    let mut strides = [1usize; MAX_DIMS];
+    c_strides(shape, &mut strides);
+
+    let mut out = Vec::new();
+    let mut entries = Vec::with_capacity(num_chunks);
+    let mut scratch = CodecScratch::new();
+    let mut gathered = Vec::new();
+    let mut frame = Vec::new();
+    let mut cc = [0usize; MAX_DIMS];
+    for _ in 0..num_chunks {
+        // Chunk origin and clamped dims.
+        let mut origin = [0usize; MAX_DIMS];
+        let mut cdim = [1usize; MAX_DIMS];
+        for i in 0..ndim {
+            origin[i] = cc[i] * chunk_shape[i];
+            cdim[i] = chunk_shape[i].min(shape[i] - origin[i]);
+        }
+        // Gather the chunk in C-order: rows contiguous along the last
+        // axis.
+        gathered.clear();
+        let rows: usize = cdim[..ndim - 1].iter().product();
+        let mut lc = [0usize; MAX_DIMS];
+        for _ in 0..rows.max(1) {
+            let mut base = origin[ndim - 1];
+            for i in 0..ndim - 1 {
+                base += (origin[i] + lc[i]) * strides[i];
+            }
+            gathered.extend_from_slice(&data[base..base + cdim[ndim - 1]]);
+            for axis in (0..ndim.saturating_sub(1)).rev() {
+                lc[axis] += 1;
+                if lc[axis] < cdim[axis] {
+                    break;
+                }
+                lc[axis] = 0;
+            }
+        }
+        codec.encode(&gathered, eb, &mut scratch, &mut frame);
+        entries.push(ChunkEntry {
+            offset: out.len() as u64,
+            len: frame.len() as u64,
+            num_elements: gathered.len() as u64,
+            format_id: codec.format_id(),
+        });
+        out.extend_from_slice(&frame);
+        for axis in (0..ndim).rev() {
+            cc[axis] += 1;
+            if cc[axis] < grid[axis] {
+                break;
+            }
+            cc[axis] = 0;
+        }
+    }
+
+    ShardIndex {
+        shape: shape.to_vec(),
+        chunk_shape: chunk_shape.to_vec(),
+        entries,
+    }
+    .append_to(&mut out);
+    Ok(out)
+}
+
+/// An opened shard: borrowed bytes plus the validated index.
+#[derive(Debug)]
+pub struct Shard<'a> {
+    bytes: &'a [u8],
+    index: ShardIndex,
+}
+
+impl<'a> Shard<'a> {
+    /// Parse and validate the shard's index (see
+    /// [`ShardIndex::parse`] for the normative validation order). The
+    /// frame bytes stay borrowed — nothing is copied or decoded here.
+    pub fn open(bytes: &'a [u8]) -> Result<Shard<'a>, StoreError> {
+        let index = ShardIndex::parse(bytes)?;
+        Ok(Shard { bytes, index })
+    }
+
+    /// The validated index.
+    pub fn index(&self) -> &ShardIndex {
+        &self.index
+    }
+
+    /// Logical array shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.index.shape
+    }
+
+    /// Total element count.
+    pub fn num_elements(&self) -> usize {
+        self.index.shape.iter().product()
+    }
+
+    /// Read the axis-aligned region at `origin` with `extent` into `out`
+    /// (C-order over `extent`; `out.len()` must equal the region size).
+    /// Codecs are resolved per chunk through `registry`.
+    ///
+    /// Only chunks overlapping the region are opened, and within each
+    /// chunk only the codec blocks overlapping the region's rows are
+    /// decoded — the returned [`ReadStats`] account for exactly that.
+    /// With a warm `scratch` the call performs zero heap allocations.
+    pub fn read_region(
+        &self,
+        registry: &CodecRegistry,
+        origin: &[usize],
+        extent: &[usize],
+        scratch: &mut StoreScratch,
+        out: &mut [f32],
+    ) -> Result<ReadStats, StoreError> {
+        let ndim = self.index.shape.len();
+        let shape = &self.index.shape;
+        let chunk_shape = &self.index.chunk_shape;
+        if origin.len() != ndim || extent.len() != ndim {
+            return Err(StoreError::Shape("origin/extent rank"));
+        }
+        let mut total = 1usize;
+        for i in 0..ndim {
+            match origin[i].checked_add(extent[i]) {
+                Some(end) if end <= shape[i] => {}
+                _ => return Err(StoreError::Shape("region out of bounds")),
+            }
+            total *= extent[i];
+        }
+        if out.len() != total {
+            return Err(StoreError::Shape("output length != region size"));
+        }
+        let mut stats = ReadStats::default();
+        if total == 0 {
+            return Ok(stats);
+        }
+
+        let mut grid = [1usize; MAX_DIMS];
+        for i in 0..ndim {
+            grid[i] = shape[i].div_ceil(chunk_shape[i]);
+        }
+        let mut grid_strides = [1usize; MAX_DIMS];
+        c_strides(&grid[..ndim], &mut grid_strides);
+        let mut out_strides = [1usize; MAX_DIMS];
+        c_strides(extent, &mut out_strides);
+        // Chunk coordinate box overlapping the region (inclusive hi).
+        let mut clo = [0usize; MAX_DIMS];
+        let mut chi = [0usize; MAX_DIMS];
+        for i in 0..ndim {
+            clo[i] = origin[i] / chunk_shape[i];
+            chi[i] = (origin[i] + extent[i] - 1) / chunk_shape[i];
+        }
+
+        let mut cc = clo;
+        loop {
+            self.read_chunk_overlap(
+                registry,
+                origin,
+                extent,
+                &cc,
+                &grid_strides,
+                &out_strides,
+                scratch,
+                out,
+                &mut stats,
+            )?;
+            let mut axis = ndim - 1;
+            loop {
+                cc[axis] += 1;
+                if cc[axis] <= chi[axis] {
+                    break;
+                }
+                cc[axis] = clo[axis];
+                if axis == 0 {
+                    return Ok(stats);
+                }
+                axis -= 1;
+            }
+        }
+    }
+
+    /// Decode the parts of chunk `cc` that overlap `[origin, origin+extent)`.
+    #[allow(clippy::too_many_arguments)]
+    fn read_chunk_overlap(
+        &self,
+        registry: &CodecRegistry,
+        origin: &[usize],
+        extent: &[usize],
+        cc: &[usize; MAX_DIMS],
+        grid_strides: &[usize; MAX_DIMS],
+        out_strides: &[usize; MAX_DIMS],
+        scratch: &mut StoreScratch,
+        out: &mut [f32],
+        stats: &mut ReadStats,
+    ) -> Result<(), StoreError> {
+        let ndim = self.index.shape.len();
+        let shape = &self.index.shape;
+        let chunk_shape = &self.index.chunk_shape;
+        let mut chunk_id = 0usize;
+        for i in 0..ndim {
+            chunk_id += cc[i] * grid_strides[i];
+        }
+        let entry = self.index.entries[chunk_id];
+        let codec = registry
+            .get(entry.format_id)
+            .ok_or(StoreError::UnknownCodec(entry.format_id))?;
+        let frame = self
+            .bytes
+            .get(entry.offset as usize..(entry.offset + entry.len) as usize)
+            .ok_or(StoreError::Truncated)?;
+        let chunk_n = entry.num_elements as usize;
+        // The frame's own element count must agree with the index before
+        // any block range is derived from it — a self-consistent but
+        // mismatched frame would otherwise trip decoder asserts.
+        if codec.num_elements(frame)? != chunk_n {
+            return Err(StoreError::Corrupt("frame element count vs index"));
+        }
+        stats.chunks_touched += 1;
+
+        // Chunk geometry and the region intersection, chunk-local.
+        let mut corigin = [0usize; MAX_DIMS];
+        let mut cdim = [1usize; MAX_DIMS];
+        let mut lo = [0usize; MAX_DIMS];
+        let mut hi = [0usize; MAX_DIMS];
+        for i in 0..ndim {
+            corigin[i] = cc[i] * chunk_shape[i];
+            cdim[i] = chunk_shape[i].min(shape[i] - corigin[i]);
+            lo[i] = origin[i].max(corigin[i]) - corigin[i];
+            hi[i] = (origin[i] + extent[i]).min(corigin[i] + cdim[i]) - corigin[i];
+        }
+        let mut cstrides = [1usize; MAX_DIMS];
+        c_strides(&cdim[..ndim], &mut cstrides);
+
+        let l = codec.block_len();
+        // Walk the intersection row by row (rows contiguous along the
+        // last axis in both the chunk and the output).
+        let mut lc = lo;
+        loop {
+            let mut base = 0usize;
+            let mut out_off = corigin[ndim - 1] + lo[ndim - 1] - origin[ndim - 1];
+            for i in 0..ndim - 1 {
+                base += lc[i] * cstrides[i];
+                out_off += (corigin[i] + lc[i] - origin[i]) * out_strides[i];
+            }
+            let start = base + lo[ndim - 1];
+            let end = base + hi[ndim - 1];
+            let b0 = start / l;
+            let b1 = end.div_ceil(l);
+            let covered = (b1 * l).min(chunk_n) - b0 * l;
+            let tile = grow(&mut scratch.tile, covered);
+            let read =
+                codec.decode_blocks(frame, b0..b1, &mut scratch.codec, &mut tile[..covered])?;
+            stats.blocks_decoded += b1 - b0;
+            stats.payload_bytes_read += read;
+            out[out_off..out_off + (end - start)]
+                .copy_from_slice(&tile[start - b0 * l..end - b0 * l]);
+
+            if ndim == 1 {
+                return Ok(());
+            }
+            let mut axis = ndim - 2;
+            loop {
+                lc[axis] += 1;
+                if lc[axis] < hi[axis] {
+                    break;
+                }
+                lc[axis] = lo[axis];
+                if axis == 0 {
+                    return Ok(());
+                }
+                axis -= 1;
+            }
+        }
+    }
+
+    /// Read the whole array (`out.len()` must equal
+    /// [`Shard::num_elements`]).
+    pub fn read_all(
+        &self,
+        registry: &CodecRegistry,
+        scratch: &mut StoreScratch,
+        out: &mut [f32],
+    ) -> Result<ReadStats, StoreError> {
+        let origin = [0usize; MAX_DIMS];
+        self.read_region(
+            registry,
+            &origin[..self.index.shape.len()],
+            &self.index.shape,
+            scratch,
+            out,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CuszpCodec, CuszxCodec, CuzfpCodec};
+
+    fn field2d(h: usize, w: usize) -> Vec<f32> {
+        (0..h * w)
+            .map(|i| {
+                let (y, x) = (i / w, i % w);
+                ((x as f32) * 0.11).sin() * ((y as f32) * 0.07).cos() * 8.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_codecs_1d() {
+        let data: Vec<f32> = (0..5000).map(|i| (i as f32 * 0.01).sin() * 3.0).collect();
+        let registry = CodecRegistry::with_defaults();
+        let eb = 1e-3;
+        for codec in registry.codecs() {
+            let shard = write_shard(&data, &[5000], &[1024], codec, eb).unwrap();
+            let shard = Shard::open(&shard).unwrap();
+            let mut scratch = StoreScratch::new();
+            let mut out = vec![0f32; 5000];
+            let stats = shard.read_all(&registry, &mut scratch, &mut out).unwrap();
+            assert_eq!(stats.chunks_touched, 5, "{}", codec.name());
+            if codec.is_error_bounded() {
+                for (i, (&d, &r)) in data.iter().zip(&out).enumerate() {
+                    assert!(
+                        (d as f64 - r as f64).abs() <= eb * (1.0 + 1e-6) + 1e-5,
+                        "{} idx {i}: {d} vs {r}",
+                        codec.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_read_matches_full_2d() {
+        let (h, w) = (37, 53);
+        let data = field2d(h, w);
+        let registry = CodecRegistry::with_defaults();
+        let codec = registry.get(*b"CZP1").unwrap();
+        let shard_bytes = write_shard(&data, &[h, w], &[16, 16], codec, 1e-4).unwrap();
+        let shard = Shard::open(&shard_bytes).unwrap();
+        let mut scratch = StoreScratch::new();
+        let mut full = vec![0f32; h * w];
+        shard.read_all(&registry, &mut scratch, &mut full).unwrap();
+        for (origin, extent) in [
+            ([0, 0], [1, 1]),
+            ([5, 7], [3, 11]),
+            ([15, 15], [4, 4]), // straddles 4 chunks
+            ([0, 0], [h, w]),
+            ([36, 52], [1, 1]),
+            ([10, 0], [1, w]),
+        ] {
+            let mut region = vec![0f32; extent[0] * extent[1]];
+            shard
+                .read_region(&registry, &origin, &extent, &mut scratch, &mut region)
+                .unwrap();
+            for y in 0..extent[0] {
+                for x in 0..extent[1] {
+                    assert_eq!(
+                        region[y * extent[1] + x],
+                        full[(origin[0] + y) * w + origin[1] + x],
+                        "origin {origin:?} extent {extent:?} at ({y},{x})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_read_touches_one_chunk_and_few_bytes() {
+        let data: Vec<f32> = (0..65536).map(|i| (i as f32 * 0.001).sin()).collect();
+        let registry = CodecRegistry::with_defaults();
+        let codec = registry.get(*b"CZP1").unwrap();
+        let shard_bytes = write_shard(&data, &[65536], &[4096], codec, 1e-4).unwrap();
+        let shard = Shard::open(&shard_bytes).unwrap();
+        let mut scratch = StoreScratch::new();
+        let mut full = vec![0f32; 65536];
+        let full_stats = shard.read_all(&registry, &mut scratch, &mut full).unwrap();
+        let mut one = vec![0f32; 32];
+        let stats = shard
+            .read_region(&registry, &[8192], &[32], &mut scratch, &mut one)
+            .unwrap();
+        assert_eq!(stats.chunks_touched, 1);
+        assert_eq!(stats.blocks_decoded, 1);
+        assert!(
+            stats.payload_bytes_read * 100 < full_stats.payload_bytes_read,
+            "one block must read ≪ the full payload: {} vs {}",
+            stats.payload_bytes_read,
+            full_stats.payload_bytes_read
+        );
+        assert_eq!(one, full[8192..8224]);
+    }
+
+    #[test]
+    fn unknown_codec_and_bad_regions() {
+        let data = vec![1.0f32; 256];
+        let codec = CuszxCodec;
+        let shard_bytes = write_shard(&data, &[256], &[128], &codec, 0.1).unwrap();
+        let shard = Shard::open(&shard_bytes).unwrap();
+        let mut scratch = StoreScratch::new();
+        let mut out = vec![0f32; 256];
+        // Registry without cuSZx.
+        let mut registry = CodecRegistry::new();
+        registry.register(Box::new(CuszpCodec));
+        assert_eq!(
+            shard.read_all(&registry, &mut scratch, &mut out),
+            Err(StoreError::UnknownCodec(*b"CZX1"))
+        );
+        let registry = CodecRegistry::with_defaults();
+        assert!(matches!(
+            shard.read_region(&registry, &[200], &[100], &mut scratch, &mut out),
+            Err(StoreError::Shape(_))
+        ));
+        assert!(matches!(
+            shard.read_region(&registry, &[0, 0], &[16, 16], &mut scratch, &mut out),
+            Err(StoreError::Shape(_))
+        ));
+        let mut tiny = [0f32; 3];
+        assert!(matches!(
+            shard.read_region(&registry, &[0], &[4], &mut scratch, &mut tiny),
+            Err(StoreError::Shape(_))
+        ));
+        // Empty extent: fine, zero stats.
+        let stats = shard
+            .read_region(&registry, &[0], &[0], &mut scratch, &mut [])
+            .unwrap();
+        assert_eq!(stats, ReadStats::default());
+    }
+
+    #[test]
+    fn write_shard_validates_shapes() {
+        let data = vec![0f32; 10];
+        assert!(matches!(
+            write_shard(&data, &[10, 2], &[4], &CuszpCodec, 0.1),
+            Err(StoreError::Shape(_))
+        ));
+        assert!(matches!(
+            write_shard(&data, &[11], &[4], &CuszpCodec, 0.1),
+            Err(StoreError::Shape(_))
+        ));
+        assert!(matches!(
+            write_shard(&data, &[10], &[0], &CuszpCodec, 0.1),
+            Err(StoreError::Shape(_))
+        ));
+        assert!(matches!(
+            write_shard(&data, &[], &[], &CuszpCodec, 0.1),
+            Err(StoreError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn frame_element_count_cross_checked() {
+        // Swap two equal-size frames' entries' num_elements: geometry
+        // check at parse catches inconsistent counts, so instead corrupt
+        // the frame itself to disagree with the (valid) index.
+        let data: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let codec = CuzfpCodec { rate: 16 };
+        let mut shard_bytes = write_shard(&data, &[256], &[128], &codec, 0.0).unwrap();
+        // Frame 0 starts at byte 0: CUZFPH1 header's num_elements at 12.
+        shard_bytes[12..20].copy_from_slice(&64u64.to_le_bytes());
+        // Shrink claim: parse of the frame now sees fewer elements than
+        // the index entry — but also a length mismatch; either way the
+        // read must fail with a typed error, not panic.
+        let shard = Shard::open(&shard_bytes).unwrap();
+        let registry = CodecRegistry::with_defaults();
+        let mut scratch = StoreScratch::new();
+        let mut out = vec![0f32; 256];
+        assert!(shard.read_all(&registry, &mut scratch, &mut out).is_err());
+    }
+}

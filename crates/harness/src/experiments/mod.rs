@@ -17,6 +17,7 @@ pub mod fig21_kernel_breakdown;
 pub mod fig22_time_varying;
 pub mod gpus;
 pub mod host_codec;
+pub mod partial_read;
 pub mod pipeline_scaling;
 pub mod rate_distortion;
 pub mod service_load;
@@ -139,6 +140,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "alloc_profile",
             "Small-payload throughput: allocating API vs zero-allocation arena API",
             alloc_profile::run as Runner,
+        ),
+        (
+            "partial_read",
+            "Block-granular random access: bytes touched and latency vs read size",
+            partial_read::run as Runner,
         ),
         (
             "service_load",

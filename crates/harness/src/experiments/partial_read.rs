@@ -1,0 +1,279 @@
+//! Block-granular random access through the `cuszp-store` shard layer
+//! (ISSUE 7).
+//!
+//! cuSZp's Eq-2 prefix sum gives exact per-block byte offsets, so a
+//! range read should touch only the compressed bytes of the blocks that
+//! overlap it — never the whole stream. This experiment stores a field
+//! as a chunked shard and measures, for every registered codec, what a
+//! 1-block / 1% / 10% / full read actually costs: wall latency,
+//! compressed **bytes touched** (from [`cuszp_store::ReadStats`] — the
+//! decoder's own accounting of payload bytes it dereferenced), blocks
+//! decoded, and steady-state heap operations (0 with a warm scratch when
+//! the counting allocator is installed). Every partial read is verified
+//! value-identical to the full-decode oracle before timing.
+//!
+//! Written as `BENCH_partial_read.json` at the repository root. Hard
+//! assertions (the ISSUE 7 acceptance criteria):
+//!
+//! * a single-block read decodes exactly the blocks overlapping the
+//!   request — one block, one chunk — and touches a vanishing fraction
+//!   of the payload;
+//! * bytes touched scale with the requested fraction, not the shard
+//!   size;
+//! * heap ops per warm partial read are 0 (when the counter is live).
+
+use super::Ctx;
+use crate::report::Report;
+use cuszp_store::{write_shard, CodecRegistry, Shard, StoreScratch};
+use datasets::Scale;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One codec × read-size measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Codec name.
+    pub codec: String,
+    /// Read label: `1-block`, `1%`, `10%`, `full`.
+    pub read: String,
+    /// Elements returned by the read.
+    pub elements: usize,
+    /// Compressed payload bytes dereferenced to serve it.
+    pub bytes_touched: usize,
+    /// `bytes_touched` as a fraction of the full read's.
+    pub payload_fraction: f64,
+    /// Codec blocks decoded.
+    pub blocks_decoded: usize,
+    /// Chunks opened.
+    pub chunks_touched: usize,
+    /// Best-of-N wall latency, microseconds.
+    pub latency_us: f64,
+    /// Logical (decoded f32) throughput, MB/s.
+    pub mbps: f64,
+    /// Heap operations per warm read (0 when the counting allocator is
+    /// installed; meaningless otherwise).
+    pub heap_ops: u64,
+}
+
+/// The checked-in benchmark artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchFile {
+    /// Artifact schema tag.
+    pub experiment: String,
+    /// Shard element count.
+    pub elements: usize,
+    /// Chunk element count.
+    pub chunk_elements: usize,
+    /// Whether heap-op counts are live.
+    pub counting_allocator_installed: bool,
+    /// Timing samples per measurement.
+    pub samples: usize,
+    /// All codec × read-size rows.
+    pub rows: Vec<Row>,
+    /// Max heap ops across all warm partial reads (target 0).
+    pub max_heap_ops: u64,
+    /// Max payload fraction a 1-block read touched (target ≪ 1%).
+    pub one_block_max_payload_fraction: f64,
+}
+
+struct BestOf {
+    best: f64,
+}
+
+impl BestOf {
+    fn new() -> Self {
+        BestOf {
+            best: f64::INFINITY,
+        }
+    }
+    fn sample(&mut self, reps: usize, mut f: impl FnMut()) {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        self.best = self.best.min(t0.elapsed().as_secs_f64() / reps as f64);
+    }
+}
+
+/// Run the partial-read experiment.
+pub fn run(ctx: &Ctx) {
+    let mut report = Report::new(
+        "partial_read",
+        "Block-granular random access: bytes touched and latency vs read size",
+        &ctx.out_dir,
+    );
+    let (n, samples) = match ctx.scale {
+        Scale::Tiny => (1usize << 18, 5usize),
+        Scale::Small => (1 << 20, 20),
+        Scale::Medium => (1 << 22, 40),
+    };
+    let chunk = 65_536usize.min(n);
+    let installed = alloc_counter::is_installed();
+    report.line(&format!(
+        "shard: {n} f32 elements, {chunk}-element chunks; best of {samples} samples; \
+         counting allocator {}",
+        if installed {
+            "installed"
+        } else {
+            "NOT installed (heap-op counts inert)"
+        }
+    ));
+
+    let data: Vec<f32> = (0..n)
+        .map(|i| (i as f32 * 0.0021).sin() * 30.0 + (i as f32 * 0.00013).cos() * 4.0)
+        .collect();
+    let registry = CodecRegistry::with_defaults();
+    let mut rows = Vec::new();
+
+    for codec in registry.codecs() {
+        let shard_bytes = write_shard(&data, &[n], &[chunk], codec, 1e-3).expect("write shard");
+        let shard = Shard::open(&shard_bytes).expect("own shard opens");
+        let mut scratch = StoreScratch::new();
+        let mut full = vec![0f32; n];
+        let full_stats = shard
+            .read_all(&registry, &mut scratch, &mut full)
+            .expect("full read");
+
+        let l = codec.block_len();
+        // (label, origin, extent): one codec block, 1%, 10%, all — each
+        // placed mid-shard so chunk-boundary handling is in play.
+        let reads = [
+            ("1-block", n / 2, l),
+            ("1%", n / 4, (n / 100).max(l)),
+            ("10%", n / 8, n / 10),
+            ("full", 0usize, n),
+        ];
+        for (label, origin, extent) in reads {
+            let mut out = vec![0f32; extent];
+            let stats = shard
+                .read_region(&registry, &[origin], &[extent], &mut scratch, &mut out)
+                .expect("partial read");
+            // Oracle: value-identical to full-decode-then-slice.
+            assert_eq!(
+                out,
+                full[origin..origin + extent],
+                "{} / {label}: partial read must equal the full-decode slice",
+                codec.name()
+            );
+            // Bytes-touched accounting (ISSUE 7 acceptance).
+            if label == "1-block" {
+                assert_eq!(
+                    stats.blocks_decoded,
+                    1,
+                    "{}: a 1-block read must decode exactly 1 block",
+                    codec.name()
+                );
+                assert_eq!(stats.chunks_touched, 1, "{}", codec.name());
+                assert!(
+                    stats.payload_bytes_read * 100 < full_stats.payload_bytes_read,
+                    "{}: 1-block read touched {} of {} payload bytes",
+                    codec.name(),
+                    stats.payload_bytes_read,
+                    full_stats.payload_bytes_read
+                );
+            }
+
+            let before = alloc_counter::snapshot();
+            shard
+                .read_region(&registry, &[origin], &[extent], &mut scratch, &mut out)
+                .expect("warm read");
+            let heap_ops = alloc_counter::snapshot().since(&before).heap_ops();
+            if installed {
+                assert_eq!(
+                    heap_ops,
+                    0,
+                    "{} / {label}: warm partial read must not touch the heap",
+                    codec.name()
+                );
+            }
+
+            let reps = ((1 << 22) / (extent * 4).max(1)).clamp(1, 512);
+            let mut best = BestOf::new();
+            for _ in 0..samples {
+                best.sample(reps, || {
+                    shard
+                        .read_region(&registry, &[origin], &[extent], &mut scratch, &mut out)
+                        .expect("timed read");
+                    std::hint::black_box(out[0]);
+                });
+            }
+            rows.push(Row {
+                codec: codec.name().to_string(),
+                read: label.to_string(),
+                elements: extent,
+                bytes_touched: stats.payload_bytes_read,
+                payload_fraction: stats.payload_bytes_read as f64
+                    / full_stats.payload_bytes_read.max(1) as f64,
+                blocks_decoded: stats.blocks_decoded,
+                chunks_touched: stats.chunks_touched,
+                latency_us: best.best * 1e6,
+                mbps: (extent * 4) as f64 / best.best / 1e6,
+                heap_ops,
+            });
+        }
+    }
+
+    report.table(
+        &[
+            "codec",
+            "read",
+            "elements",
+            "bytes touched",
+            "payload frac",
+            "blocks",
+            "latency",
+            "MB/s",
+            "heap ops",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.codec.clone(),
+                    r.read.clone(),
+                    format!("{}", r.elements),
+                    format!("{}", r.bytes_touched),
+                    format!("{:.4}%", r.payload_fraction * 100.0),
+                    format!("{}", r.blocks_decoded),
+                    format!("{:.1} us", r.latency_us),
+                    format!("{:.0}", r.mbps),
+                    format!("{}", r.heap_ops),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let max_heap_ops = rows.iter().map(|r| r.heap_ops).max().unwrap_or(0);
+    let one_block_max_payload_fraction = rows
+        .iter()
+        .filter(|r| r.read == "1-block")
+        .map(|r| r.payload_fraction)
+        .fold(0.0f64, f64::max);
+    report.line(&format!(
+        "1-block reads touch <= {:.5}% of the payload; max warm-read heap ops: {max_heap_ops} (target 0)",
+        one_block_max_payload_fraction * 100.0
+    ));
+
+    let bench = BenchFile {
+        experiment: "partial_read".to_string(),
+        elements: n,
+        chunk_elements: chunk,
+        counting_allocator_installed: installed,
+        samples,
+        rows: rows.clone(),
+        max_heap_ops,
+        one_block_max_payload_fraction,
+    };
+
+    report.save_json(&rows);
+    report.save_text();
+
+    let root = ctx.out_dir.parent().unwrap_or(std::path::Path::new("."));
+    let path = root.join("BENCH_partial_read.json");
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench file");
+    std::fs::write(&path, json).expect("write BENCH_partial_read.json");
+    report.line(&format!(
+        "benchmark trajectory written to {}",
+        path.display()
+    ));
+}

@@ -8,6 +8,9 @@
 //! * [`cuszp_pipeline`] — batched multi-stream compression with a bounded
 //!   submission queue and per-stream counters.
 //! * [`baselines`] — cuSZ-, cuSZx-, and cuZFP-like comparison compressors.
+//! * [`cuszp_store`] — block-granular random-access store: the
+//!   `ErrorBoundedCodec` trait, the runtime codec registry, and the
+//!   sharded chunk container with partial (`decode_blocks`) reads.
 //! * [`gpu_sim`] — the CUDA-like execution substrate and timing model.
 //! * [`datasets`] — synthetic SDRBench-equivalent data generators.
 //! * [`metrics`] — PSNR/SSIM/CDF/rate/visualization metrics.
@@ -20,6 +23,7 @@
 pub use baselines;
 pub use cuszp_core;
 pub use cuszp_pipeline;
+pub use cuszp_store;
 pub use datasets;
 pub use gpu_sim;
 pub use harness;

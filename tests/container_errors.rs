@@ -1,0 +1,180 @@
+//! Dead-variant audit for the `#[non_exhaustive]` error enums: every
+//! variant of [`FormatError`] and [`StoreError`] must be *constructible
+//! from bytes* — i.e. some concrete malformed input produces it. An
+//! error variant nothing can trigger is dead API surface hiding behind
+//! the attribute; this suite keeps the enums honest.
+//!
+//! (Being in a different crate, these matches also prove downstream code
+//! can still name and construct the variants — `#[non_exhaustive]` on an
+//! enum restricts exhaustive matching, not variant construction.)
+
+use cuszp_repro::cuszp_core::{Compressed, CompressedRef, Cuszp, ErrorBound, FormatError};
+use cuszp_repro::cuszp_store::{
+    write_shard, CodecRegistry, CuszpCodec, Shard, StoreError, StoreScratch,
+};
+use std::collections::BTreeSet;
+
+/// Stable label per variant; the wildcard arm is *required* here — the
+/// enums are `#[non_exhaustive]` — which is exactly what the audit
+/// documents.
+fn format_variant(e: &FormatError) -> &'static str {
+    match e {
+        FormatError::BadMagic => "BadMagic",
+        FormatError::Truncated => "Truncated",
+        FormatError::Corrupt(_) => "Corrupt",
+        _ => "future",
+    }
+}
+
+fn store_variant(e: &StoreError) -> &'static str {
+    match e {
+        StoreError::Truncated => "Truncated",
+        StoreError::BadMagic => "BadMagic",
+        StoreError::Corrupt(_) => "Corrupt",
+        StoreError::IndexOutOfBounds { .. } => "IndexOutOfBounds",
+        StoreError::IndexOverlap { .. } => "IndexOverlap",
+        StoreError::UnknownCodec(_) => "UnknownCodec",
+        StoreError::Frame(_) => "Frame",
+        StoreError::Shape(_) => "Shape",
+        _ => "future",
+    }
+}
+
+fn sample_stream() -> Vec<u8> {
+    let data: Vec<f32> = (0..200).map(|i| (i as f32 * 0.1).sin()).collect();
+    Cuszp::new()
+        .compress(&data, ErrorBound::Abs(1e-3))
+        .to_bytes()
+}
+
+#[test]
+fn every_format_error_variant_is_reachable_from_bytes() {
+    let good = sample_stream();
+    let mut seen = BTreeSet::new();
+    let mut hit = |r: Result<CompressedRef<'_>, FormatError>| {
+        seen.insert(format_variant(&r.expect_err("malformed input must fail")));
+    };
+
+    // BadMagic: wrong magic byte.
+    let mut bad = good.clone();
+    bad[0] = b'X';
+    hit(CompressedRef::parse(&bad));
+    // Truncated: any prefix cut.
+    hit(CompressedRef::parse(&good[..good.len() - 1]));
+    hit(CompressedRef::parse(&good[..3]));
+    // Corrupt, via each header/accounting path.
+    let mut bad = good.clone();
+    bad[6] = 7; // lorenzo flag ∉ {0, 1}
+    hit(CompressedRef::parse(&bad));
+    let mut bad = good.clone();
+    bad[7] = 9; // unknown dtype
+    hit(CompressedRef::parse(&bad));
+    let mut bad = good.clone();
+    bad[16..20].copy_from_slice(&7u32.to_le_bytes()); // block_len % 8 != 0
+    hit(CompressedRef::parse(&bad));
+    let mut bad = good.clone();
+    bad[20..28].copy_from_slice(&f64::NAN.to_le_bytes()); // bad bound
+    hit(CompressedRef::parse(&bad));
+    let mut bad = good.clone();
+    bad.push(0); // trailing bytes
+    hit(CompressedRef::parse(&bad));
+
+    // `Compressed::validate` reaches Corrupt through its own checks.
+    let c = Compressed::from_bytes(&good).unwrap();
+    let mut wrong_fl = c.clone();
+    wrong_fl.fixed_lengths.push(3);
+    seen.insert(format_variant(
+        &wrong_fl.validate().expect_err("fl size must fail"),
+    ));
+    let mut wrong_payload = c;
+    wrong_payload.payload.pop();
+    seen.insert(format_variant(
+        &wrong_payload
+            .validate()
+            .expect_err("payload size must fail"),
+    ));
+
+    assert_eq!(
+        seen.into_iter().collect::<Vec<_>>(),
+        vec!["BadMagic", "Corrupt", "Truncated"],
+        "every FormatError variant must be reachable from bytes"
+    );
+}
+
+#[test]
+fn every_store_error_variant_is_reachable_from_bytes() {
+    let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.05).sin()).collect();
+    let good = write_shard(&data, &[256], &[64], &CuszpCodec, 1e-3).unwrap();
+    let registry = CodecRegistry::with_defaults();
+    let mut scratch = StoreScratch::new();
+    let mut out = vec![0f32; 256];
+    let mut seen = BTreeSet::new();
+
+    // Locate the index: footer's first 8 bytes hold its offset.
+    let index_offset =
+        u64::from_le_bytes(good[good.len() - 16..good.len() - 8].try_into().unwrap()) as usize;
+    // 1-D index: magic(8) + ndim(1) + shape(8) + chunk_shape(8) + count(4).
+    let entries = index_offset + 29;
+
+    // Truncated: empty shard.
+    seen.insert(store_variant(&Shard::open(&[]).unwrap_err()));
+    // BadMagic: footer magic flipped.
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] = b'X';
+    seen.insert(store_variant(&Shard::open(&bad).unwrap_err()));
+    // Corrupt: index offset pointing past the footer.
+    let mut bad = good.clone();
+    let pos = bad.len() - 16;
+    bad[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    seen.insert(store_variant(&Shard::open(&bad).unwrap_err()));
+    // IndexOutOfBounds: entry 0's length runs past the frame region.
+    let mut bad = good.clone();
+    bad[entries + 8..entries + 16].copy_from_slice(&(good.len() as u64 * 2).to_le_bytes());
+    seen.insert(store_variant(&Shard::open(&bad).unwrap_err()));
+    // IndexOverlap: entry 1 rewound into entry 0's byte range.
+    let mut bad = good.clone();
+    bad[entries + 28..entries + 36].copy_from_slice(&0u64.to_le_bytes());
+    seen.insert(store_variant(&Shard::open(&bad).unwrap_err()));
+    // UnknownCodec: entry 0's format id renamed.
+    let mut bad = good.clone();
+    bad[entries + 24..entries + 28].copy_from_slice(b"????");
+    let shard = Shard::open(&bad).expect("index itself is intact");
+    seen.insert(store_variant(
+        &shard
+            .read_all(&registry, &mut scratch, &mut out)
+            .unwrap_err(),
+    ));
+    // Frame: frame 0's magic flipped — the index is fine, the chunk
+    // fails its codec's own validation at read time.
+    let mut bad = good.clone();
+    bad[0] = b'X';
+    let shard = Shard::open(&bad).expect("index itself is intact");
+    let err = shard
+        .read_all(&registry, &mut scratch, &mut out)
+        .unwrap_err();
+    assert_eq!(err, StoreError::Frame(FormatError::BadMagic));
+    seen.insert(store_variant(&err));
+    // Shape: rank mismatch on the read request.
+    let shard = Shard::open(&good).unwrap();
+    seen.insert(store_variant(
+        &shard
+            .read_region(&registry, &[0, 0], &[2, 2], &mut scratch, &mut out)
+            .unwrap_err(),
+    ));
+
+    assert_eq!(
+        seen.into_iter().collect::<Vec<_>>(),
+        vec![
+            "BadMagic",
+            "Corrupt",
+            "Frame",
+            "IndexOutOfBounds",
+            "IndexOverlap",
+            "Shape",
+            "Truncated",
+            "UnknownCodec",
+        ],
+        "every StoreError variant must be reachable from bytes"
+    );
+}

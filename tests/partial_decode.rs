@@ -1,0 +1,137 @@
+//! Differential property tests for partial decode: for random shapes,
+//! bounds, and block ranges, `decode_blocks(range)` must be
+//! **value-identical** to full-decode-then-slice — for every registered
+//! codec, including ranges straddling chunk boundaries and the ragged
+//! final block. The store-level region reader is held to the same oracle
+//! over random 2-D shards.
+
+use cuszp_repro::cuszp_store::{
+    write_shard, CodecRegistry, CodecScratch, ErrorBoundedCodec, Shard, StoreScratch,
+};
+use proptest::prelude::*;
+
+/// Lengths that stress ragged tails of every codec's block size
+/// (cuSZp 32, cuSZx 128, cuZFP 4).
+fn awkward_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(4usize),
+        Just(31usize),
+        Just(33usize),
+        Just(127usize),
+        Just(129usize),
+        Just(255usize),
+        2usize..900,
+    ]
+}
+
+fn signal(n: usize, scale: f32, phase: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as f32 + phase) * 0.11).sin() * scale + (i as f32 * 0.013).cos())
+        .collect()
+}
+
+/// Check one codec: every sub-range of blocks decodes to the same values
+/// as slicing the full decode, and reports a byte count consistent with
+/// decoding the full frame.
+fn check_codec(
+    codec: &dyn ErrorBoundedCodec,
+    data: &[f32],
+    eb: f64,
+    lo: usize,
+    hi: usize,
+    scratch: &mut CodecScratch,
+) -> Result<(), TestCaseError> {
+    let mut frame = Vec::new();
+    codec.encode(data, eb, scratch, &mut frame);
+    let n = data.len();
+    let l = codec.block_len();
+    let num_blocks = n.div_ceil(l);
+    let mut full = vec![0f32; n];
+    let full_bytes = codec
+        .decode_into(&frame, scratch, &mut full)
+        .expect("own frame decodes");
+
+    // Map the random pair onto a valid block range (may be empty).
+    let b0 = lo % (num_blocks + 1);
+    let b1 = b0 + hi % (num_blocks - b0 + 1);
+    let e0 = (b0 * l).min(n);
+    let e1 = (b1 * l).min(n);
+    let mut part = vec![0f32; e1 - e0];
+    let part_bytes = codec
+        .decode_blocks(&frame, b0..b1, scratch, &mut part)
+        .expect("partial decode");
+    // Bit-identical, not approximately equal: both paths run the same
+    // reconstruction arithmetic.
+    prop_assert_eq!(&part[..], &full[e0..e1], "codec {}", codec.name());
+    prop_assert!(
+        part_bytes <= full_bytes,
+        "partial read {} bytes > full {}",
+        part_bytes,
+        full_bytes
+    );
+    if b0 == 0 && b1 == num_blocks {
+        prop_assert_eq!(part_bytes, full_bytes);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decode_blocks_matches_full_decode_slice(
+        n in awkward_len(),
+        scale in 0.1f32..50.0,
+        phase in 0.0f32..100.0,
+        eb in prop_oneof![1e-5f64..1e-3, 1e-3f64..1e-1],
+        lo in 0usize..10_000,
+        hi in 0usize..10_000,
+    ) {
+        let data = signal(n, scale, phase);
+        let registry = CodecRegistry::with_defaults();
+        let mut scratch = CodecScratch::new();
+        for codec in registry.codecs() {
+            check_codec(codec, &data, eb, lo, hi, &mut scratch)?;
+        }
+    }
+
+    #[test]
+    fn region_reads_match_full_reads_2d(
+        h in 1usize..48,
+        w in 1usize..48,
+        ch in 1usize..20,
+        cw in 1usize..20,
+        oy in 0usize..10_000,
+        ox in 0usize..10_000,
+        ey in 1usize..10_000,
+        ex in 1usize..10_000,
+        codec_pick in 0usize..3,
+    ) {
+        let data = signal(h * w, 10.0, 0.0);
+        let registry = CodecRegistry::with_defaults();
+        let codec = registry.codecs().nth(codec_pick).expect("three codecs");
+        let bytes = write_shard(&data, &[h, w], &[ch, cw], codec, 1e-3).expect("write");
+        let shard = Shard::open(&bytes).expect("open");
+        let mut scratch = StoreScratch::new();
+        let mut full = vec![0f32; h * w];
+        shard.read_all(&registry, &mut scratch, &mut full).expect("full read");
+
+        // Clamp the random region into the shard (always non-empty, and
+        // biased to straddle chunk boundaries by spanning up to the full
+        // shape).
+        let oy = oy % h;
+        let ox = ox % w;
+        let ey = 1 + ey % (h - oy);
+        let ex = 1 + ex % (w - ox);
+        let mut region = vec![0f32; ey * ex];
+        shard
+            .read_region(&registry, &[oy, ox], &[ey, ex], &mut scratch, &mut region)
+            .expect("region read");
+        for y in 0..ey {
+            let got = &region[y * ex..(y + 1) * ex];
+            let want = &full[(oy + y) * w + ox..(oy + y) * w + ox + ex];
+            prop_assert_eq!(got, want, "row {} of region ({},{})+({},{})", y, oy, ox, ey, ex);
+        }
+    }
+}
