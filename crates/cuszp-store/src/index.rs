@@ -129,8 +129,8 @@ impl ShardIndex {
     /// 3. `index_offset` leaves room for a minimal index before the
     ///    footer — else [`StoreError::Corrupt`].
     /// 4. Index magic — else [`StoreError::BadMagic`].
-    /// 5. `ndim ∈ [1, 8]`; shape and chunk dims ≥ 1 — else
-    ///    [`StoreError::Corrupt`].
+    /// 5. `ndim ∈ [1, 8]`; shape and chunk dims ≥ 1; the total element
+    ///    count `Π shape` fits in `usize` — else [`StoreError::Corrupt`].
     /// 6. `num_chunks` ≤ 2^24 and equals the grid product — else
     ///    [`StoreError::Corrupt`].
     /// 7. The index ends exactly at the footer — else
@@ -150,10 +150,13 @@ impl ShardIndex {
             return Err(StoreError::BadMagic);
         }
         let index_offset = u64::from_le_bytes(footer[..8].try_into().expect("len checked"));
-        // 3: the smallest legal index (1-D, 0 chunks) must fit.
+        // 3: the smallest legal index (1-D, 0 chunks) must fit. Widen to
+        // u128 so the check cannot be masked by saturation or wraparound
+        // (a shard shorter than `min_index + FOOTER_BYTES` must reject
+        // every index_offset, including 0).
         let body_end = shard.len() - FOOTER_BYTES;
         let min_index = Self::index_bytes(1, 0);
-        if index_offset > body_end.saturating_sub(min_index) as u64 {
+        if index_offset as u128 + min_index as u128 > body_end as u128 {
             return Err(StoreError::Corrupt("index offset out of bounds"));
         }
         let index = &shard[index_offset as usize..body_end];
@@ -185,6 +188,17 @@ impl ShardIndex {
         };
         let shape = read_dims(9)?;
         let chunk_shape = read_dims(9 + ndim * 8)?;
+        // Untrusted 64-bit dims: the total element count must fit in
+        // usize, or downstream products (grid strides, chunk_elements,
+        // Shard::num_elements) could wrap — a debug panic and, in
+        // release, a geometry-validation bypass. Every later product is
+        // bounded by Π shape (each grid axis ≤ shape axis since chunk
+        // dims are ≥ 1, and clamped chunk extents are ≤ shape axes), so
+        // this single checked product covers them all.
+        shape
+            .iter()
+            .try_fold(1usize, |acc, &s| acc.checked_mul(s))
+            .ok_or(StoreError::Corrupt("element count overflow"))?;
         // 6: chunk count.
         let num_chunks = u32::from_le_bytes(
             index[shapes_end..shapes_end + 4]
@@ -340,6 +354,52 @@ mod tests {
         assert_eq!(
             ShardIndex::parse(&shard),
             Err(StoreError::Corrupt("index offset out of bounds"))
+        );
+    }
+
+    #[test]
+    fn tiny_shards_reject_index_offset() {
+        // 16 bytes: a bare footer with index_offset = 0 and no room for
+        // any index. A saturating bound check would let offset 0 through
+        // and panic slicing the (empty) index region.
+        let mut tiny = vec![0u8; 8];
+        tiny.extend_from_slice(&FOOTER_MAGIC);
+        assert_eq!(
+            ShardIndex::parse(&tiny),
+            Err(StoreError::Corrupt("index offset out of bounds"))
+        );
+        // 24 bytes: a valid index magic at offset 0 followed directly by
+        // the footer — too short for even a minimal index, so it must be
+        // rejected at step 3, before the magic is ever read.
+        let mut tiny = INDEX_MAGIC.to_vec();
+        tiny.extend_from_slice(&0u64.to_le_bytes());
+        tiny.extend_from_slice(&FOOTER_MAGIC);
+        assert_eq!(
+            ShardIndex::parse(&tiny),
+            Err(StoreError::Corrupt("index offset out of bounds"))
+        );
+    }
+
+    #[test]
+    fn oversize_shape_rejected() {
+        // Claimed dims whose element-count product overflows usize must
+        // be rejected, not wrapped (wraparound would let a tiny entry
+        // table validate against an astronomically large claimed shape).
+        let mut bytes = Vec::new();
+        let io = bytes.len() as u64;
+        bytes.extend_from_slice(&INDEX_MAGIC);
+        bytes.push(2);
+        let huge = usize::MAX as u64;
+        bytes.extend_from_slice(&huge.to_le_bytes()); // shape[0]
+        bytes.extend_from_slice(&huge.to_le_bytes()); // shape[1]
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // chunk_shape[0]
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // chunk_shape[1]
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&io.to_le_bytes());
+        bytes.extend_from_slice(&FOOTER_MAGIC);
+        assert_eq!(
+            ShardIndex::parse(&bytes),
+            Err(StoreError::Corrupt("element count overflow"))
         );
     }
 
