@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
     for l in [8usize, 32, 128] {
         let comp = CuszpAdapter::with_config(CuszpConfig {
             block_len: l,
-            lorenzo: true,
+            ..Default::default()
         });
         group.bench_function(format!("L{l}"), |b| {
             b.iter(|| black_box(compress_once(&comp, black_box(&field), eb)))
@@ -35,6 +35,7 @@ fn bench(c: &mut Criterion) {
         let comp = CuszpAdapter::with_config(CuszpConfig {
             block_len: 32,
             lorenzo,
+            ..Default::default()
         });
         group.bench_function(if lorenzo { "on" } else { "off" }, |b| {
             b.iter(|| black_box(compress_once(&comp, black_box(&field), eb)))

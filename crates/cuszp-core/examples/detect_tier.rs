@@ -1,0 +1,28 @@
+//! Print the host's detected SIMD dispatch tier and the autotuned tile
+//! sizes — the diagnostic for "which kernels will my process run?".
+//!
+//! ```text
+//! cargo run --release -p cuszp-core --example detect_tier
+//! ```
+//!
+//! Honors `CUSZP_SIMD` (the printout shows the *resolved* tier next to
+//! the detected one) and `CUSZP_TILE_ELEMS`.
+
+use cuszp_core::{simd, tune, DType, SimdLevel};
+
+fn main() {
+    let detected = simd::detect_level();
+    let resolved = simd::resolve_level(None);
+    println!("detected SIMD tier: {detected}");
+    if resolved != detected {
+        println!("resolved SIMD tier: {resolved} (CUSZP_SIMD override)");
+    }
+    for (dtype, name) in [(DType::F32, "f32"), (DType::F64, "f64")] {
+        for level in SimdLevel::ALL {
+            if level <= detected {
+                let tile = tune::tile_elems(dtype, level);
+                println!("autotuned tile ({name}, {level}): {tile} elements");
+            }
+        }
+    }
+}

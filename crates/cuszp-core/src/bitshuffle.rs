@@ -15,6 +15,26 @@
 //! values × 8 planes per transpose instead of one bit per inner-loop
 //! iteration — the word-level trick SZx uses to run this fixed-length
 //! design at memory bandwidth on CPUs.
+//!
+//! These primitives are the **scalar tier** of the
+//! [`SimdLevel`](crate::SimdLevel) dispatch hierarchy, and the wider
+//! tiers in [`crate::simd`] are lane-lifted editions of exactly the same
+//! networks rather than different algorithms:
+//!
+//! - The AVX-512 tier runs [`transpose8x8`]'s three delta-swaps on eight
+//!   `u64` lanes at once (`transpose8x8_x8`) and replaces
+//!   [`byte_transpose8x8`]'s swap network with a single `vpermb`
+//!   cross-lane byte permute.
+//! - The AVX2 tier has no cross-lane byte permute, so it reaches the
+//!   same Fig 11 bytes through a pack/`vpshufb` reorder plus one
+//!   `vpmovmskb` per plane — a different instruction route through the
+//!   identical bit-matrix transpose.
+//!
+//! Decoding is the same strip step **inverted**: every transpose here is
+//! an involution, so the decode side of each tier runs the identical
+//! permutes in the opposite order (plane rows → chunk words → magnitude
+//! limbs) — which is why encode and decode vectorize to the same
+//! throughput class instead of decode trailing on a scalar inverse.
 
 /// Transpose an 8×8 bit matrix packed LSB-first into a `u64`: input bit
 /// `8i + c` (bit `c` of byte `i`) moves to output bit `8c + i`. The

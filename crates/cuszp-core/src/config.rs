@@ -66,6 +66,76 @@ impl std::fmt::Display for ErrorBound {
     }
 }
 
+/// Host SIMD dispatch tier for the fast codec ([`crate::fast`]).
+///
+/// Every tier produces **byte-identical** streams and reconstructions:
+/// the tier selects *which kernels run*, never *what they compute* — the
+/// differential suites (`tests/fast_vs_ref.rs`, `tests/simd_tiers.rs`)
+/// pin each tier against the scalar [`crate::host_ref`] oracle. The
+/// default is runtime detection of the best tier the host supports; the
+/// `CUSZP_SIMD` environment variable or [`CuszpConfig::simd`] force a
+/// tier. Forcing a tier the host cannot run clamps **down** to the
+/// detected one, so an override can never enable unsupported
+/// instructions — overrides exist to *disable* vector paths (testing the
+/// portable tiers on wide hosts, or pinning a tier process-wide for
+/// reproducible latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// Portable word-parallel strip codec and scalar arithmetic. Runs on
+    /// any host; the floor every other tier must match byte-for-byte.
+    Scalar,
+    /// 256-bit kernels (AVX2): packed byte transposes plus
+    /// `vpmovmskb`-based plane extraction for the `L = 32`, `F ≤ 16`
+    /// block codec, with a fused decode→dequantize path. Arithmetic
+    /// outside the block codec stays scalar (AVX2 has no exact
+    /// `f64`↔`i64` vector converts).
+    Avx2,
+    /// Full 512-bit paths (AVX-512 F/DQ/BW/VBMI): vector
+    /// quantize/dequantize, `vpermb` byte transposes, delta-swap bit
+    /// transposes, and fused decode→dequantize for `L = 32` at every
+    /// `F ≤ 64`.
+    Avx512,
+}
+
+impl SimdLevel {
+    /// All tiers, weakest first — iterate this to test every tier at or
+    /// below the detected one.
+    pub const ALL: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512];
+
+    /// Parse a tier name as used by `CUSZP_SIMD` (case-insensitive).
+    pub fn parse(s: &str) -> Option<SimdLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdLevel::Scalar),
+            "avx2" => Some(SimdLevel::Avx2),
+            "avx512" => Some(SimdLevel::Avx512),
+            _ => None,
+        }
+    }
+
+    /// The tier's `CUSZP_SIMD` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SimdLevel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SimdLevel::parse(s)
+            .ok_or_else(|| format!("unknown SIMD tier {s:?} (expected scalar, avx2, or avx512)"))
+    }
+}
+
 /// Compressor configuration. The defaults reproduce the paper; the other
 /// knobs exist for the ablation experiments called out in DESIGN.md §5.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +145,14 @@ pub struct CuszpConfig {
     /// Apply the 1-D 1-layer Lorenzo prediction inside blocks (paper §4.1).
     /// Disabling it is the Fig 4 ablation.
     pub lorenzo: bool,
+    /// Force a SIMD dispatch tier for this codec instance. `None` (the
+    /// default) defers to the `CUSZP_SIMD` environment variable, then to
+    /// runtime detection; `Some(level)` takes precedence over both but is
+    /// still clamped to what the host supports. Output bytes are
+    /// identical at every tier. Not serialized — dispatch is a property
+    /// of the running process, not of a stream.
+    #[serde(skip)]
+    pub simd: Option<SimdLevel>,
 }
 
 impl Default for CuszpConfig {
@@ -82,6 +160,7 @@ impl Default for CuszpConfig {
         CuszpConfig {
             block_len: DEFAULT_BLOCK_LEN,
             lorenzo: true,
+            simd: None,
         }
     }
 }
@@ -155,7 +234,7 @@ mod tests {
     fn odd_block_len_rejected() {
         CuszpConfig {
             block_len: 12,
-            lorenzo: true,
+            ..Default::default()
         }
         .validate();
     }

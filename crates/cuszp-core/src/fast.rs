@@ -66,17 +66,12 @@
 //! and their staged bytes land at disjoint, precomputed byte ranges.
 
 use crate::bitshuffle::{byte_transpose8x8, transpose8x8};
-use crate::config::CuszpConfig;
+use crate::config::{CuszpConfig, SimdLevel};
 use crate::dtype::FloatData;
 use crate::encode::cmp_bytes_for;
 use crate::format::{Compressed, CompressedRef};
 
-use crate::simd;
-
-/// Residual-scratch sizing: tiles hold about this many elements so the
-/// working set (64 KiB of `i64`) stays in L2 instead of round-tripping a
-/// data-sized buffer through DRAM.
-const TILE_ELEMS: usize = 8192;
+use crate::{simd, tune};
 
 /// Resolve a requested worker count: `0` means the host's parallelism.
 fn resolve_threads(threads: usize) -> usize {
@@ -189,8 +184,12 @@ impl Scratch {
             self.ranges.reserve(1);
         }
         // The codec grows the tile buffers to a full tile regardless of
-        // the array size, so warming must match exactly.
-        let blocks_per_tile = (TILE_ELEMS / l).max(1);
+        // the array size, so warming must match exactly — including the
+        // autotuned tile size the compress path will resolve (calling
+        // `tune::tile_elems` here also runs the one-shot probe, moving
+        // that cost into warm-up where it belongs).
+        let level = simd::resolve_level(cfg.simd);
+        let blocks_per_tile = (tune::tile_elems(T::DTYPE, level) / l).max(1);
         let ws = &mut self.workers[0];
         grow(&mut ws.resid, blocks_per_tile * l);
         grow(&mut ws.maxes, blocks_per_tile);
@@ -284,13 +283,19 @@ fn plan_and_encode<T: FloatData>(
     resid: &mut Vec<i64>,
     maxes: &mut Vec<u64>,
     staging: &mut Vec<u8>,
+    level: SimdLevel,
+    tile_elems: usize,
 ) {
     let num_blocks = fls.len();
-    let blocks_per_tile = (TILE_ELEMS / l).max(1);
+    let blocks_per_tile = (tile_elems / l).max(1);
     let resid = grow(resid, blocks_per_tile * l);
     let maxes = grow(maxes, blocks_per_tile);
     let n = data.len();
-    let b32 = l == 32 && simd::block32_available();
+    let vec_f = if l == 32 {
+        simd::block32_max_f(level)
+    } else {
+        0
+    };
 
     let mut i = 0;
     while i < num_blocks {
@@ -298,6 +303,7 @@ fn plan_and_encode<T: FloatData>(
         let start = (b0 + i) * l;
         let end = (start + tile * l).min(n);
         simd::quantize_blocks(
+            level,
             &data[start..end],
             l,
             eb,
@@ -323,8 +329,8 @@ fn plan_and_encode<T: FloatData>(
             }
             let cmp = cmps[i + k] as usize;
             let block = &resid[k * l..(k + 1) * l];
-            if b32 && f <= 16 {
-                simd::encode_block32(block, f, &mut staging[at..at + cmp]);
+            if f <= vec_f {
+                simd::encode_block32(level, block, f, &mut staging[at..at + cmp]);
             } else {
                 encode_block(block, f, &mut staging[at..at + cmp]);
             }
@@ -352,6 +358,8 @@ fn compress_core<T: FloatData>(
     let l = cfg.block_len;
     let num_blocks = data.len().div_ceil(l);
     let threads = resolve_threads(threads);
+    let level = simd::resolve_level(cfg.simd);
+    let tile_elems = tune::tile_elems(T::DTYPE, level);
     grow(&mut scratch.fls, num_blocks);
     grow(&mut scratch.cmps, num_blocks);
     scratch.fill_ranges(num_blocks, threads);
@@ -378,6 +386,8 @@ fn compress_core<T: FloatData>(
                 &mut ws.resid,
                 &mut ws.maxes,
                 &mut ws.staging,
+                level,
+                tile_elems,
             );
         }
     } else {
@@ -405,6 +415,8 @@ fn compress_core<T: FloatData>(
                         &mut ws.resid,
                         &mut ws.maxes,
                         &mut ws.staging,
+                        level,
+                        tile_elems,
                     )
                 });
             }
@@ -551,6 +563,8 @@ pub fn compress_into_threaded<'a, T: FloatData>(
     out.resize(header.len() + num_blocks, 0); // fraction-ⓐ placeholder
 
     let resolved = resolve_threads(threads);
+    let level = simd::resolve_level(cfg.simd);
+    let tile_elems = tune::tile_elems(T::DTYPE, level);
     grow(&mut scratch.fls, num_blocks);
     grow(&mut scratch.cmps, num_blocks);
     scratch.fill_ranges(num_blocks, resolved);
@@ -570,6 +584,8 @@ pub fn compress_into_threaded<'a, T: FloatData>(
                 &mut ws.resid,
                 &mut ws.maxes,
                 out,
+                level,
+                tile_elems,
             );
         }
         out[header.len()..header.len() + num_blocks].copy_from_slice(&scratch.fls[..num_blocks]);
@@ -649,8 +665,20 @@ fn decode_block(payload: &[u8], f: u8, lorenzo: bool, l: usize, q: &mut [i64]) {
 }
 
 /// Decode blocks `[b0, b1)` from `payload` into `out` (the slice covering
-/// elements `b0·L .. min(b1·L, N)`), tile by tile: blocks decode into a
-/// cache-resident integer scratch, then one batch dequantize per tile.
+/// elements `b0·L .. min(b1·L, N)`), block by block. Three exits:
+///
+/// - **Zero block** (`F = 0`): `dequantize(0)` is exactly `+0.0` for both
+///   element types, so the block is a plain fill — sparse decode
+///   degenerates to memset speed.
+/// - **Fused vector path** (full `L = 32` block with `F` within the
+///   tier's [`simd::block32_max_f`]): [`simd::decode_block32_to`] undoes
+///   the bit-plane layout *and* dequantizes in registers, storing
+///   finished elements straight to `out`. The quantization integers
+///   never exist in memory, which removes the 16 B/element scratch
+///   round trip the old tiled decode paid.
+/// - **Portable strip codec** (everything else, including the ragged
+///   final block): decode into the worker's integer scratch, then
+///   dequantize that block.
 #[allow(clippy::too_many_arguments)]
 fn decode_blocks<T: FloatData>(
     fls: &[u8],
@@ -661,36 +689,33 @@ fn decode_blocks<T: FloatData>(
     n: usize,
     eb: f64,
     lorenzo: bool,
+    level: SimdLevel,
     ws: &mut WorkerScratch,
     out: &mut [T],
 ) {
-    let blocks_per_tile = (TILE_ELEMS / l).max(1);
-    let q = grow(&mut ws.resid, blocks_per_tile * l);
-    let num_blocks = fls.len();
     let out_base = b0 * l;
-    let b32 = l == 32 && simd::block32_available();
-
-    let mut i = 0;
-    while i < num_blocks {
-        let tile = (num_blocks - i).min(blocks_per_tile);
-        for (k, &f) in fls[i..i + tile].iter().enumerate() {
-            let qb = &mut q[k * l..(k + 1) * l];
-            if f == 0 {
-                qb.fill(0); // zero block: every quantization integer is 0
-                continue;
-            }
-            let off = offsets[b0 + i + k] as usize;
-            let bytes = &payload[off..off + cmp_bytes_for(f, l) as usize];
-            if b32 && f <= 16 {
-                simd::decode_block32(bytes, f, lorenzo, qb);
-            } else {
-                decode_block(bytes, f, lorenzo, l, qb);
-            }
+    let vec_f = if l == 32 {
+        simd::block32_max_f(level)
+    } else {
+        0
+    };
+    for (k, &f) in fls.iter().enumerate() {
+        let start = (b0 + k) * l;
+        let end = (start + l).min(n);
+        let dst = &mut out[start - out_base..end - out_base];
+        if f == 0 {
+            dst.fill(T::from_f64(0.0));
+            continue;
         }
-        let start = (b0 + i) * l;
-        let end = (start + tile * l).min(n);
-        simd::dequantize_slice(q, eb, &mut out[start - out_base..end - out_base]);
-        i += tile;
+        let off = offsets[b0 + k] as usize;
+        let bytes = &payload[off..off + cmp_bytes_for(f, l) as usize];
+        if f <= vec_f && dst.len() == l {
+            simd::decode_block32_to(level, bytes, f, lorenzo, eb, dst);
+        } else {
+            let q = grow(&mut ws.resid, l);
+            decode_block(bytes, f, lorenzo, l, q);
+            simd::dequantize_slice(level, q, eb, dst);
+        }
     }
 }
 
@@ -708,17 +733,28 @@ pub fn decompress<T: FloatData>(c: &Compressed) -> Vec<T> {
 /// decode independently at Eq-2 offsets, so the output is identical for
 /// every thread count.
 pub fn decompress_threaded<T: FloatData>(c: &Compressed, threads: usize) -> Vec<T> {
+    decompress_threaded_at(c, threads, None)
+}
+
+/// [`decompress_threaded`] at an explicit dispatch tier (`None` ⇒
+/// `CUSZP_SIMD`, then runtime detection — see [`simd::resolve_level`]).
+/// The tier never changes the output, only which kernels produce it.
+pub fn decompress_threaded_at<T: FloatData>(
+    c: &Compressed,
+    threads: usize,
+    simd_level: Option<SimdLevel>,
+) -> Vec<T> {
     let n = c.num_elements as usize;
     let mut out: Vec<T> = Vec::with_capacity(n);
     // SAFETY: `T` is sealed to `f32`/`f64` — plain-old-data, no drop, no
-    // invalid bit patterns — and `decompress_into_threaded` stores to
-    // every element of the slice (each block tile dequantizes its full
-    // element range) before `set_len` makes them observable. Writing
+    // invalid bit patterns — and the decoder stores to every element of
+    // the slice (every block exit — fill, fused, or strip — writes its
+    // full element range) before `set_len` makes them observable. Writing
     // through the raw-parts slice rather than `vec![T::default(); n]`
     // skips a full-size memset the decoder would immediately overwrite.
     unsafe {
         let uninit = std::slice::from_raw_parts_mut(out.as_mut_ptr(), n);
-        decompress_into_threaded(c.as_ref(), threads, &mut Scratch::new(), uninit);
+        decompress_into_threaded_at(c.as_ref(), threads, &mut Scratch::new(), simd_level, uninit);
         out.set_len(n);
     }
     out
@@ -735,6 +771,20 @@ pub fn decompress_threaded<T: FloatData>(c: &Compressed, threads: usize) -> Vec<
 /// different element type than `T`, or `out.len() != num_elements`.
 pub fn decompress_into<T: FloatData>(c: CompressedRef<'_>, scratch: &mut Scratch, out: &mut [T]) {
     decompress_into_threaded(c, 1, scratch, out)
+}
+
+/// [`decompress_into`] at an explicit dispatch tier (`None` ⇒
+/// `CUSZP_SIMD`, then runtime detection). Output bytes are identical at
+/// every tier; this exists so callers that carry a [`CuszpConfig`] (and
+/// the per-tier test and benchmark rows) can pin decompression to the
+/// same tier as compression.
+pub fn decompress_into_at<T: FloatData>(
+    c: CompressedRef<'_>,
+    scratch: &mut Scratch,
+    simd_level: Option<SimdLevel>,
+    out: &mut [T],
+) {
+    decompress_into_threaded_at(c, 1, scratch, simd_level, out)
 }
 
 /// Decode **only** blocks `[blocks.start, blocks.end)` of a stream into
@@ -828,6 +878,7 @@ pub fn decompress_blocks_into<T: FloatData>(
         n,
         c.eb,
         c.lorenzo,
+        simd::resolve_level(None),
         &mut scratch.workers[0],
         out,
     );
@@ -840,6 +891,19 @@ pub fn decompress_into_threaded<T: FloatData>(
     c: CompressedRef<'_>,
     threads: usize,
     scratch: &mut Scratch,
+    out: &mut [T],
+) {
+    decompress_into_threaded_at(c, threads, scratch, None, out)
+}
+
+/// [`decompress_into_threaded`] at an explicit dispatch tier (`None` ⇒
+/// `CUSZP_SIMD`, then runtime detection). Identical output for every
+/// thread count *and* every tier.
+pub fn decompress_into_threaded_at<T: FloatData>(
+    c: CompressedRef<'_>,
+    threads: usize,
+    scratch: &mut Scratch,
+    simd_level: Option<SimdLevel>,
     out: &mut [T],
 ) {
     assert_eq!(c.dtype, T::DTYPE, "stream element type mismatch");
@@ -884,6 +948,7 @@ pub fn decompress_into_threaded<T: FloatData>(
         "invalid stream: payload length disagrees with Eq-2 accounting"
     );
 
+    let level = simd::resolve_level(simd_level);
     scratch.fill_ranges(num_blocks, threads);
     if scratch.ranges.len() <= 1 {
         if num_blocks > 0 {
@@ -896,6 +961,7 @@ pub fn decompress_into_threaded<T: FloatData>(
                 n,
                 c.eb,
                 c.lorenzo,
+                level,
                 &mut scratch.workers[0],
                 out,
             );
@@ -913,10 +979,57 @@ pub fn decompress_into_threaded<T: FloatData>(
                 consumed = end;
                 let fls = &c.fixed_lengths[b0..b1];
                 s.spawn(move || {
-                    decode_blocks(fls, offsets, c.payload, l, b0, n, c.eb, c.lorenzo, ws, mine)
+                    decode_blocks(
+                        fls, offsets, c.payload, l, b0, n, c.eb, c.lorenzo, level, ws, mine,
+                    )
                 });
             }
         });
+    }
+}
+
+/// One timed phase-1 pass for the autotuner ([`crate::tune`]): plan +
+/// encode a synthetic wave with the given tile size at tier `level`,
+/// best of three runs. Compression is the only tiled direction left
+/// (decode is tile-free), so phase 1 is exactly what the tile tunes.
+pub(crate) fn tune_probe(dtype: crate::DType, level: SimdLevel, tile_elems: usize) -> f64 {
+    fn probe<T: FloatData>(level: SimdLevel, tile_elems: usize) -> f64 {
+        const N: usize = 1 << 15;
+        let data: Vec<T> = (0..N)
+            .map(|i| {
+                let x = i as f64;
+                T::from_f64((x * 0.02).sin() * 40.0 + (x * 0.11).cos() * 3.0)
+            })
+            .collect();
+        let num_blocks = N / 32;
+        let mut fls = vec![0u8; num_blocks];
+        let mut cmps = vec![0u32; num_blocks];
+        let mut ws = WorkerScratch::default();
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            ws.staging.clear();
+            let t0 = std::time::Instant::now();
+            plan_and_encode(
+                &data,
+                1e-3,
+                true,
+                32,
+                0,
+                &mut fls,
+                &mut cmps,
+                &mut ws.resid,
+                &mut ws.maxes,
+                &mut ws.staging,
+                level,
+                tile_elems,
+            );
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    }
+    match dtype {
+        crate::DType::F32 => probe::<f32>(level, tile_elems),
+        crate::DType::F64 => probe::<f64>(level, tile_elems),
     }
 }
 
@@ -981,7 +1094,7 @@ mod tests {
         for l in [8usize, 16, 64, 128] {
             let cfg = CuszpConfig {
                 block_len: l,
-                lorenzo: true,
+                ..Default::default()
             };
             assert_identical(&wave(530), 0.01, cfg);
         }
@@ -989,8 +1102,69 @@ mod tests {
 
     #[test]
     fn spans_many_tiles_identical() {
-        // > TILE_ELEMS elements so tiling boundaries are exercised.
-        assert_identical(&wave(3 * TILE_ELEMS + 17), 0.01, CuszpConfig::default());
+        // > tile elements so tiling boundaries are exercised regardless
+        // of which candidate the autotuner picked.
+        assert_identical(
+            &wave(3 * tune::DEFAULT_TILE_ELEMS + 17),
+            0.01,
+            CuszpConfig::default(),
+        );
+    }
+
+    #[test]
+    fn tile_size_never_changes_output() {
+        // The autotuned tile is a pure performance knob: phase 1 must
+        // produce identical plans and staged bytes at every tile size.
+        let data = wave(10_000);
+        let level = simd::resolve_level(None);
+        let num_blocks = data.len().div_ceil(32);
+        let mut base: Option<(Vec<u8>, Vec<u32>, Vec<u8>)> = None;
+        for tile in [256usize, 2048, 8192, 32768, 1 << 20] {
+            let mut fls = vec![0u8; num_blocks];
+            let mut cmps = vec![0u32; num_blocks];
+            let mut ws = WorkerScratch::default();
+            plan_and_encode(
+                &data,
+                0.01,
+                true,
+                32,
+                0,
+                &mut fls,
+                &mut cmps,
+                &mut ws.resid,
+                &mut ws.maxes,
+                &mut ws.staging,
+                level,
+                tile,
+            );
+            let got = (fls, cmps, ws.staging);
+            match &base {
+                None => base = Some(got),
+                Some(want) => assert_eq!(&got, want, "tile={tile}"),
+            }
+        }
+    }
+
+    #[test]
+    fn forced_tiers_identical() {
+        // Every tier at or below the detected one must produce the same
+        // bytes and reconstructions as the scalar reference.
+        let data = wave(4321);
+        let reference = host_ref::compress(&data, 0.01, CuszpConfig::default());
+        let full = host_ref::decompress::<f32>(&reference);
+        for level in SimdLevel::ALL {
+            if level > simd::detect_level() {
+                continue;
+            }
+            let cfg = CuszpConfig {
+                simd: Some(level),
+                ..Default::default()
+            };
+            let c = compress(&data, 0.01, cfg);
+            assert_eq!(c, reference, "compress at {level}");
+            let back = decompress_threaded_at::<f32>(&c, 1, Some(level));
+            assert_eq!(back, full, "decompress at {level}");
+        }
     }
 
     #[test]
@@ -1100,11 +1274,11 @@ mod tests {
 
     #[test]
     fn block32_codec_matches_generic() {
-        if !simd::block32_available() {
-            return; // vector block codec not usable on this host
-        }
-        // Deterministic pseudo-random residuals exercising every f,
-        // signs, zeros, and the exact 2^f−1 magnitude boundaries.
+        // Deterministic pseudo-random residuals exercising every f each
+        // tier covers, signs, zeros, and the exact 2^f−1 magnitude
+        // boundaries — the vector encoders must emit the generic strip
+        // codec's bytes, and the fused decoders must reproduce generic
+        // decode + dequantize for both element types.
         let mut state = 0x9E37_79B9_7F4A_7C15u64;
         let mut rng = move || {
             state ^= state << 13;
@@ -1112,37 +1286,52 @@ mod tests {
             state ^= state << 17;
             state
         };
-        for f in 1u8..=16 {
-            for trial in 0..50 {
-                let top = (1u64 << f) - 1;
-                let resid: Vec<i64> = (0..32)
-                    .map(|i| {
-                        let mag = if trial == 0 && i < 4 {
-                            top
-                        } else {
-                            rng() & top
-                        };
-                        let v = mag as i64;
-                        if rng() & 1 == 0 {
-                            -v
-                        } else {
-                            v
-                        }
-                    })
-                    .collect();
-                let cmp = cmp_bytes_for(f, 32) as usize;
-                let mut want = vec![0u8; cmp];
-                encode_block(&resid, f, &mut want);
-                let mut got = vec![0u8; cmp];
-                simd::encode_block32(&resid, f, &mut got);
-                assert_eq!(got, want, "encode f={f} trial={trial}");
+        let eb = 0.01;
+        for level in [SimdLevel::Avx2, SimdLevel::Avx512] {
+            if level > simd::detect_level() {
+                continue;
+            }
+            for f in 1u8..=simd::block32_max_f(level) {
+                for trial in 0..20 {
+                    let top = if f == 64 { u64::MAX } else { (1u64 << f) - 1 };
+                    let resid: Vec<i64> = (0..32)
+                        .map(|i| {
+                            let mag = if trial == 0 && i < 4 {
+                                top
+                            } else {
+                                rng() & top
+                            };
+                            let v = mag as i64;
+                            if rng() & 1 == 0 {
+                                v.wrapping_neg()
+                            } else {
+                                v
+                            }
+                        })
+                        .collect();
+                    let cmp = cmp_bytes_for(f, 32) as usize;
+                    let mut want = vec![0u8; cmp];
+                    encode_block(&resid, f, &mut want);
+                    let mut got = vec![0u8; cmp];
+                    simd::encode_block32(level, &resid, f, &mut got);
+                    assert_eq!(got, want, "encode {level} f={f} trial={trial}");
 
-                for lorenzo in [false, true] {
-                    let mut q_want = vec![0i64; 32];
-                    decode_block(&want, f, lorenzo, 32, &mut q_want);
-                    let mut q_got = vec![0i64; 32];
-                    simd::decode_block32(&want, f, lorenzo, &mut q_got);
-                    assert_eq!(q_got, q_want, "decode f={f} lorenzo={lorenzo}");
+                    for lorenzo in [false, true] {
+                        let mut q_want = vec![0i64; 32];
+                        decode_block(&want, f, lorenzo, 32, &mut q_want);
+                        let mut f32_want = vec![0f32; 32];
+                        simd::dequantize_slice(SimdLevel::Scalar, &q_want, eb, &mut f32_want);
+                        let mut f64_want = vec![0f64; 32];
+                        simd::dequantize_slice(SimdLevel::Scalar, &q_want, eb, &mut f64_want);
+
+                        let mut f32_got = vec![0f32; 32];
+                        simd::decode_block32_to(level, &want, f, lorenzo, eb, &mut f32_got);
+                        let mut f64_got = vec![0f64; 32];
+                        simd::decode_block32_to(level, &want, f, lorenzo, eb, &mut f64_got);
+                        let tag = format!("{level} f={f} lorenzo={lorenzo} trial={trial}");
+                        assert_eq!(f32_got, f32_want, "fused f32 decode {tag}");
+                        assert_eq!(f64_got, f64_want, "fused f64 decode {tag}");
+                    }
                 }
             }
         }

@@ -149,6 +149,7 @@ impl Compressed {
         CuszpConfig {
             block_len: self.block_len as usize,
             lorenzo: self.lorenzo,
+            simd: None,
         }
         .validate();
         if self.fixed_lengths.len() != self.num_blocks() {
@@ -326,6 +327,7 @@ impl<'a> CompressedRef<'a> {
         CuszpConfig {
             block_len: self.block_len as usize,
             lorenzo: self.lorenzo,
+            simd: None,
         }
         .validate();
         if self.fixed_lengths.len() != self.num_blocks() {

@@ -171,7 +171,7 @@ mod tests {
         for l in [8, 16, 32, 64, 128] {
             let cfg = CuszpConfig {
                 block_len: l,
-                lorenzo: true,
+                ..Default::default()
             };
             check_roundtrip(&data, 0.02, cfg);
         }

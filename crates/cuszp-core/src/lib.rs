@@ -56,11 +56,12 @@ pub mod host_ref;
 pub mod kernels;
 pub mod quantize;
 pub mod simd;
+pub mod tune;
 pub mod verify;
 
 pub use archive::{Archive, Entry};
 pub use chunked::{chunk_ref_iter, chunk_refs, ChunkRefIter, ChunkedCompressed, ChunkedReader};
-pub use config::{CuszpConfig, ErrorBound, DEFAULT_BLOCK_LEN};
+pub use config::{CuszpConfig, ErrorBound, SimdLevel, DEFAULT_BLOCK_LEN};
 pub use dtype::{DType, FloatData};
 pub use fast::Scratch;
 pub use format::{Compressed, CompressedRef, FormatError};
@@ -181,25 +182,27 @@ impl Cuszp {
 
     /// Decompress into a caller-owned slice with a caller-owned
     /// [`Scratch`] arena: zero heap allocations once the arena is warm.
-    /// `out.len()` must equal the stream's element count.
+    /// `out.len()` must equal the stream's element count. Honors this
+    /// codec's [`CuszpConfig::simd`] tier override, like every `Cuszp`
+    /// method.
     pub fn decompress_into<T: FloatData>(
         &self,
         c: &Compressed,
         scratch: &mut Scratch,
         out: &mut [T],
     ) {
-        fast::decompress_into(c.as_ref(), scratch, out)
+        fast::decompress_into_at(c.as_ref(), scratch, self.config.simd, out)
     }
 
     /// Decompress on the host to the stream's element type.
     pub fn decompress<T: FloatData>(&self, c: &Compressed) -> Vec<T> {
-        fast::decompress(c)
+        self.decompress_threaded(c, 1)
     }
 
     /// Decompress on the host with `threads` workers (`0` ⇒ host
     /// parallelism). Identical output for every thread count.
     pub fn decompress_threaded<T: FloatData>(&self, c: &Compressed, threads: usize) -> Vec<T> {
-        fast::decompress_threaded(c, threads)
+        fast::decompress_threaded_at(c, threads, self.config.simd)
     }
 
     /// Compress `data` as a [`ChunkedCompressed`] container of
@@ -341,6 +344,7 @@ mod tests {
         let cfg = CuszpConfig {
             block_len: 64,
             lorenzo: false,
+            ..Default::default()
         };
         let codec = Cuszp::with_config(cfg);
         assert_eq!(codec.config.block_len, 64);

@@ -1,5 +1,31 @@
-//! Batch quantize/dequantize — the arithmetic hot loops of the host
-//! codec, with a runtime-detected AVX-512 path.
+//! Runtime-dispatched SIMD kernels — the arithmetic and bit-plane hot
+//! loops of the host codec, at three interchangeable tiers.
+//!
+//! ## The tier model
+//!
+//! Every kernel here exists at up to three [`SimdLevel`] tiers that are
+//! **byte-identical by contract** — the tier chooses instructions, never
+//! results. [`resolve_level`] picks the tier: an explicit
+//! [`CuszpConfig::simd`](crate::CuszpConfig::simd) override wins, then
+//! the process-wide `CUSZP_SIMD` environment variable, then runtime
+//! detection; whatever is requested is clamped **down** to what the host
+//! can run, so an override can only ever disable vector paths.
+//!
+//! | kernel | scalar | AVX2 | AVX-512 |
+//! |---|---|---|---|
+//! | quantize + Lorenzo | ✓ | (scalar) | 8-lane `vcvtpd2qq` |
+//! | dequantize | ✓ | (scalar) | 8-lane `vcvtqq2pd` |
+//! | `L = 32` block encode | strip codec | `F ≤ 16` | `F ≤ 64` |
+//! | `L = 32` block decode | strip codec | `F ≤ 16`, fused | `F ≤ 64`, fused |
+//!
+//! The AVX2 tier leaves quantize/dequantize scalar on purpose: AVX2 has
+//! no exact `f64`↔`i64` vector converts, and an approximate one would
+//! break byte identity. Its block *decoder* still dequantizes in-vector
+//! because decoded residual magnitudes are bounded (`F ≤ 16` ⇒ Lorenzo
+//! sums below 2²¹), where the magic-number `i64 → f64` conversion is
+//! exact.
+//!
+//! ## Bit-exact vector quantization (AVX-512)
 //!
 //! The scalar quantizer (`(d / 2eb).round() as i64`) spends most of its
 //! time in `f64::round` (round **half away from zero** has no direct x86
@@ -15,27 +41,89 @@
 //!   (matching Rust's `as i64`) but also for positive overflow and NaN;
 //!   two masked fix-ups restore `i64::MAX` / `0` for those lanes.
 //!
+//! ## Fused block decode
+//!
+//! The block decoders ([`decode_block32_to`]) run the inverse bit-plane
+//! transposition *and* the dequantize multiply in registers, storing
+//! finished `f32`/`f64` elements straight to the output array. The
+//! q-integers never round-trip through a scratch tile, which halves the
+//! decode path's L2 traffic (16 bytes of `i64` per element, gone) — the
+//! host analogue of the paper's fused decompression kernel writing
+//! reconstructed data directly from shared memory.
+//!
 //! Every public function here is a drop-in for the scalar loop it
 //! replaces: same outputs for every input, only faster. The differential
-//! suites (`fast` unit tests, `tests/fast_vs_ref.rs`) pin this down
-//! against [`crate::host_ref`], which still runs the scalar forms.
+//! suites (`fast` unit tests, `tests/fast_vs_ref.rs`,
+//! `tests/simd_tiers.rs`) pin this down against [`crate::host_ref`],
+//! which still runs the scalar forms.
 
+use crate::config::SimdLevel;
 use crate::dtype::{DType, FloatData};
 use crate::quantize::{dequantize, quantize};
 
 /// Whether the AVX-512 paths are usable on this host (F: arithmetic and
-/// masks; DQ: the `f64`↔`i64` vector converts). `is_x86_feature_detected!`
+/// masks; DQ: the `f64`↔`i64` vector converts; BW: 512-bit byte masks;
+/// VBMI: `vpermb`, the cross-lane byte permute that does a whole 8×8
+/// byte transpose in one instruction). `is_x86_feature_detected!`
 /// caches, so calling this per tile is free.
 #[cfg(target_arch = "x86_64")]
 #[inline]
 fn avx512() -> bool {
     std::arch::is_x86_feature_detected!("avx512f")
         && std::arch::is_x86_feature_detected!("avx512dq")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+        && std::arch::is_x86_feature_detected!("avx512vbmi")
+}
+
+/// The best [`SimdLevel`] this host can run. Cheap to call repeatedly
+/// (feature detection is cached by the standard library).
+pub fn detect_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx512() {
+            return SimdLevel::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The `CUSZP_SIMD` override, read once per process. An unparseable
+/// value warns on stderr and is ignored (treated as unset) rather than
+/// aborting a library caller.
+fn env_level() -> Option<SimdLevel> {
+    static ENV: std::sync::OnceLock<Option<SimdLevel>> = std::sync::OnceLock::new();
+    *ENV.get_or_init(|| {
+        let s = std::env::var("CUSZP_SIMD").ok()?;
+        if s.is_empty() {
+            return None;
+        }
+        match SimdLevel::parse(&s) {
+            Some(l) => Some(l),
+            None => {
+                eprintln!("cuszp: ignoring CUSZP_SIMD={s:?} (expected scalar, avx2, or avx512)");
+                None
+            }
+        }
+    })
+}
+
+/// Resolve the dispatch tier for a codec call: `forced` (the
+/// [`CuszpConfig::simd`](crate::CuszpConfig::simd) field) wins, then
+/// `CUSZP_SIMD`, then [`detect_level`] — and the result is clamped to
+/// the detected tier, so forcing above the host's capability degrades
+/// gracefully instead of faulting.
+pub fn resolve_level(forced: Option<SimdLevel>) -> SimdLevel {
+    let detected = detect_level();
+    forced.or_else(env_level).unwrap_or(detected).min(detected)
 }
 
 /// Quantize `block` and apply the Lorenzo transform (`r₋₁ = 0` at the
 /// block start), writing residuals into `resid[..block.len()]`. Returns
-/// the maximum `unsigned_abs` over the residuals written.
+/// the maximum `unsigned_abs` over the residuals written. Dispatches at
+/// the default-resolved tier ([`resolve_level`]`(None)`).
 ///
 /// Bit-identical to [`crate::quantize::quantize_block`] plus a max scan.
 pub fn quantize_lorenzo_block<T: FloatData>(
@@ -44,13 +132,26 @@ pub fn quantize_lorenzo_block<T: FloatData>(
     lorenzo: bool,
     resid: &mut [i64],
 ) -> u64 {
+    quantize_lorenzo_block_at(resolve_level(None), block, eb, lorenzo, resid)
+}
+
+/// [`quantize_lorenzo_block`] at an explicit tier (`level` must be at or
+/// below [`detect_level`] — [`resolve_level`] guarantees this).
+pub fn quantize_lorenzo_block_at<T: FloatData>(
+    level: SimdLevel,
+    block: &[T],
+    eb: f64,
+    lorenzo: bool,
+    resid: &mut [i64],
+) -> u64 {
     debug_assert!(resid.len() >= block.len());
-    #[cfg(target_arch = "x86_64")]
-    if avx512() {
+    debug_assert!(level <= detect_level());
+    match level {
+        #[cfg(target_arch = "x86_64")]
         // SAFETY: FloatData is sealed, so T::DTYPE faithfully tags the
-        // element type; the features were detected above.
-        unsafe {
-            return match T::DTYPE {
+        // element type; `level ≤ detect_level()` implies the features.
+        SimdLevel::Avx512 => unsafe {
+            match T::DTYPE {
                 DType::F32 => avx512_impl::quantize_lorenzo_f32(
                     std::slice::from_raw_parts(block.as_ptr().cast::<f32>(), block.len()),
                     eb,
@@ -63,10 +164,11 @@ pub fn quantize_lorenzo_block<T: FloatData>(
                     lorenzo,
                     resid,
                 ),
-            };
-        }
+            }
+        },
+        // The AVX2 tier quantizes scalar: no exact vector f64↔i64.
+        _ => quantize_lorenzo_scalar(block, eb, lorenzo, resid, 0),
     }
-    quantize_lorenzo_scalar(block, eb, lorenzo, resid, 0)
 }
 
 /// Scalar form of [`quantize_lorenzo_block`], starting from predecessor
@@ -92,12 +194,13 @@ fn quantize_lorenzo_scalar<T: FloatData>(
     max_abs
 }
 
-/// Quantize + Lorenzo a run of whole blocks: `data` covers blocks of
-/// length `l` (the last may be partial), `resid` holds `max_abs.len() · l`
-/// residuals (tail block zero-padded), and `max_abs[b]` receives block
-/// `b`'s maximum residual magnitude. One feature dispatch for the whole
-/// run; the Lorenzo predecessor resets at every block boundary.
+/// Quantize + Lorenzo a run of whole blocks at tier `level`: `data`
+/// covers blocks of length `l` (the last may be partial), `resid` holds
+/// `max_abs.len() · l` residuals (tail block zero-padded), and
+/// `max_abs[b]` receives block `b`'s maximum residual magnitude. The
+/// Lorenzo predecessor resets at every block boundary.
 pub fn quantize_blocks<T: FloatData>(
+    level: SimdLevel,
     data: &[T],
     l: usize,
     eb: f64,
@@ -112,7 +215,7 @@ pub fn quantize_blocks<T: FloatData>(
         let start = b * l;
         let end = (start + l).min(n);
         let r = &mut resid[start..start + l];
-        *m = quantize_lorenzo_block(&data[start..end], eb, lorenzo, r);
+        *m = quantize_lorenzo_block_at(level, &data[start..end], eb, lorenzo, r);
         for pad in r[end - start..].iter_mut() {
             *pad = 0; // tail padding lives in the residual domain
         }
@@ -120,13 +223,15 @@ pub fn quantize_blocks<T: FloatData>(
 }
 
 /// Dequantize `q[..]` into `out[..]` (`out[i] = qᵢ · 2eb`, narrowed to
-/// `T`). Bit-identical to a loop of [`crate::quantize::dequantize`].
-pub fn dequantize_slice<T: FloatData>(q: &[i64], eb: f64, out: &mut [T]) {
+/// `T`) at tier `level`. Bit-identical to a loop of
+/// [`crate::quantize::dequantize`].
+pub fn dequantize_slice<T: FloatData>(level: SimdLevel, q: &[i64], eb: f64, out: &mut [T]) {
     debug_assert!(q.len() >= out.len());
-    #[cfg(target_arch = "x86_64")]
-    if avx512() {
-        // SAFETY: as in `quantize_lorenzo_block`.
-        unsafe {
+    debug_assert!(level <= detect_level());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `quantize_lorenzo_block_at`.
+        SimdLevel::Avx512 => unsafe {
             match T::DTYPE {
                 DType::F32 => avx512_impl::dequantize_f32(
                     q,
@@ -139,64 +244,116 @@ pub fn dequantize_slice<T: FloatData>(q: &[i64], eb: f64, out: &mut [T]) {
                     std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<f64>(), out.len()),
                 ),
             }
-            return;
+        },
+        _ => {
+            for (dst, &r) in out.iter_mut().zip(q) {
+                *dst = dequantize(r, eb);
+            }
         }
     }
-    for (dst, &r) in out.iter_mut().zip(q) {
-        *dst = dequantize(r, eb);
+}
+
+/// Largest per-block bit width `F` the `L = 32` vector block codec
+/// handles at `level` (both directions); `0` means no vector block codec
+/// at that tier. Blocks with a larger `F` — or any other block length —
+/// take the portable word-parallel strip codec in [`crate::fast`].
+pub fn block32_max_f(level: SimdLevel) -> u8 {
+    match level {
+        SimdLevel::Scalar => 0,
+        // Magnitudes must fit u16 for the pack/movemask plane extraction.
+        SimdLevel::Avx2 => 16,
+        // The chunk-pair loop covers the full 64-bit magnitude strip.
+        SimdLevel::Avx512 => 64,
     }
 }
 
-/// Whether the specialized 32-element block codec
-/// ([`encode_block32`]/[`decode_block32`]) is usable: it additionally
-/// needs BW (512-bit byte masks) and VBMI (`vpermb`, the cross-lane byte
-/// permute that does a whole 8×8 byte transpose in one instruction).
-pub fn block32_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        avx512()
-            && std::arch::is_x86_feature_detected!("avx512bw")
-            && std::arch::is_x86_feature_detected!("avx512vbmi")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
-}
-
-/// Encode one `L = 32` block (sign map + `f ≤ 16` bit planes, Fig 11
-/// layout) from `resid[..32]` into `out[..4 + 4f]` — the whole
-/// transposition runs as three 512-bit permutes plus one in-register bit
-/// transpose. Byte-identical to the generic path.
+/// Encode one `L = 32` block (sign map + `f` bit planes, Fig 11 layout)
+/// from `resid[..32]` into `out[..4 + 4f]` at tier `level`.
+/// Byte-identical to the generic strip codec.
 ///
 /// # Panics
-/// Debug-asserts availability and the `L`/`f` preconditions; call only
-/// when [`block32_available`] and `1 ≤ f ≤ 16`.
-pub fn encode_block32(resid: &[i64], f: u8, out: &mut [u8]) {
-    debug_assert!(block32_available() && resid.len() == 32 && (1..=16).contains(&f));
+/// Debug-asserts the preconditions; call only when
+/// `1 ≤ f ≤ block32_max_f(level)` and `level ≤ detect_level()`.
+pub fn encode_block32(level: SimdLevel, resid: &[i64], f: u8, out: &mut [u8]) {
+    debug_assert!(level <= detect_level());
+    debug_assert!(resid.len() == 32 && f >= 1 && f <= block32_max_f(level));
     debug_assert!(out.len() == 4 + 4 * f as usize);
-    #[cfg(target_arch = "x86_64")]
-    // SAFETY: features checked by the caller via `block32_available`.
-    unsafe {
-        avx512_impl::encode_block32(resid, f, out)
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `level ≤ detect_level()` implies the features.
+        SimdLevel::Avx512 => unsafe { avx512_impl::encode_block32(resid, f, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above; `f ≤ 16` bounds magnitudes to u16.
+        SimdLevel::Avx2 => unsafe { avx2_impl::encode_block32(resid, f, out) },
+        _ => unreachable!("no vector block codec at the {level} tier"),
     }
-    #[cfg(not(target_arch = "x86_64"))]
-    unreachable!("block32 codec gated by block32_available()");
 }
 
-/// Inverse of [`encode_block32`]: decode payload bytes into the block's
-/// 32 quantization integers (signs applied, Lorenzo prefix-summed when
-/// `lorenzo`). Same preconditions.
-pub fn decode_block32(payload: &[u8], f: u8, lorenzo: bool, q: &mut [i64]) {
-    debug_assert!(block32_available() && q.len() == 32 && (1..=16).contains(&f));
+/// Decode one `L = 32` block payload **fused with dequantization**:
+/// signs applied, Lorenzo prefix-summed when `lorenzo`, multiplied by
+/// `2eb` and narrowed to `T` — all in registers — then stored to
+/// `out[..32]`. Bit-identical to the generic decode followed by
+/// [`dequantize_slice`].
+///
+/// # Panics
+/// Debug-asserts the same preconditions as [`encode_block32`].
+pub fn decode_block32_to<T: FloatData>(
+    level: SimdLevel,
+    payload: &[u8],
+    f: u8,
+    lorenzo: bool,
+    eb: f64,
+    out: &mut [T],
+) {
+    debug_assert!(level <= detect_level());
+    debug_assert!(out.len() == 32 && f >= 1 && f <= block32_max_f(level));
     debug_assert!(payload.len() == 4 + 4 * f as usize);
-    #[cfg(target_arch = "x86_64")]
-    // SAFETY: features checked by the caller via `block32_available`.
-    unsafe {
-        avx512_impl::decode_block32(payload, f, lorenzo, q)
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features implied by the level; FloatData is sealed so
+        // T::DTYPE faithfully tags the element type.
+        SimdLevel::Avx512 => unsafe {
+            match T::DTYPE {
+                DType::F32 => avx512_impl::decode_block32_f32(
+                    payload,
+                    f,
+                    lorenzo,
+                    eb,
+                    std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<f32>(), out.len()),
+                ),
+                DType::F64 => avx512_impl::decode_block32_f64(
+                    payload,
+                    f,
+                    lorenzo,
+                    eb,
+                    std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<f64>(), out.len()),
+                ),
+            }
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above; `f ≤ 16` bounds every decoded magnitude below
+        // 2¹⁶ and Lorenzo sums below 2²¹, inside the exact range of the
+        // magic-number i64→f64 conversion.
+        SimdLevel::Avx2 => unsafe {
+            match T::DTYPE {
+                DType::F32 => avx2_impl::decode_block32_f32(
+                    payload,
+                    f,
+                    lorenzo,
+                    eb,
+                    std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<f32>(), out.len()),
+                ),
+                DType::F64 => avx2_impl::decode_block32_f64(
+                    payload,
+                    f,
+                    lorenzo,
+                    eb,
+                    std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<f64>(), out.len()),
+                ),
+            }
+        },
+        _ => unreachable!("no vector block codec at the {level} tier"),
     }
-    #[cfg(not(target_arch = "x86_64"))]
-    unreachable!("block32 codec gated by block32_available()");
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -217,8 +374,8 @@ mod avx512_impl {
     };
 
     /// Encode-side final permute: plane-layout byte `m = 4k + g`
-    /// (plane `k = 8t + c`, group `g`) reads transposed byte
-    /// `32t + 8g + c`.
+    /// (pair-relative plane `k = 8t + c`, group `g`) reads transposed
+    /// byte `32t + 8g + c`.
     const ENC_PLANES_IDX: [u8; 64] = {
         let mut idx = [0u8; 64];
         let mut m = 0;
@@ -243,6 +400,22 @@ mod avx512_impl {
         idx
     };
 
+    /// Narrow-decode interleave: after the bit transpose, value `v`'s
+    /// low magnitude byte sits at byte `v` and its high byte at `32 + v`,
+    /// so word `v` of the output reads bytes `(v, 32 + v)` — one `vpermb`
+    /// turns the transposed pair into 32 little-endian `u16` magnitudes
+    /// in value order.
+    const INTERLEAVE_IDX: [u8; 64] = {
+        let mut idx = [0u8; 64];
+        let mut v = 0;
+        while v < 32 {
+            idx[2 * v] = v as u8;
+            idx[2 * v + 1] = (32 + v) as u8;
+            v += 1;
+        }
+        idx
+    };
+
     /// Eight independent 8×8 bit-matrix transposes, one per qword lane —
     /// `transpose8x8`'s three masked delta-swaps lifted to 512 bits.
     ///
@@ -262,6 +435,13 @@ mod avx512_impl {
         _mm512_xor_si512(z, _mm512_xor_si512(t, _mm512_slli_epi64(t, 28)))
     }
 
+    /// Encode at any `1 ≤ f ≤ 64`: planes are produced 16 at a time from
+    /// one magnitude-byte *chunk pair* — for pair `p`, bytes `2p`/`2p+1`
+    /// of all 32 magnitudes feed planes `16p .. 16p+16` through the same
+    /// merge → bit-transpose → `vpermb` sequence the original `F ≤ 16`
+    /// kernel ran once. Dense data (`F ≤ 16`) still runs exactly one
+    /// iteration.
+    ///
     /// # Safety
     /// Requires `avx512f`, `avx512dq`, `avx512bw`, `avx512vbmi`.
     #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vbmi")]
@@ -277,50 +457,80 @@ mod avx512_impl {
             *l = _mm512_permutexvar_epi8(bt, _mm512_abs_epi64(v));
         }
         out[..4].copy_from_slice(&signs.to_le_bytes());
-        // Merge the four groups' chunk-0/1 qwords into one vector laid
-        // out `[x₀₀ x₀₁ x₀₂ x₀₃ x₁₀ x₁₁ x₁₂ x₁₃]` (x_{chunk, group}).
-        let p01 = _mm512_permutex2var_epi64(
-            limbs[0],
-            _mm512_setr_epi64(0, 8, 0, 0, 1, 9, 0, 0),
-            limbs[1],
-        );
-        let p23 = _mm512_permutex2var_epi64(
-            limbs[2],
-            _mm512_setr_epi64(0, 8, 0, 0, 1, 9, 0, 0),
-            limbs[3],
-        );
-        let z = _mm512_permutex2var_epi64(p01, _mm512_setr_epi64(0, 1, 8, 9, 4, 5, 12, 13), p23);
-        // Eight bit transposes at once, then one byte permute lands every
-        // plane byte at its Fig 11 position; a masked store writes
-        // exactly the 4·f plane bytes.
-        let y = transpose8x8_x8(z);
-        let planes =
-            _mm512_permutexvar_epi8(_mm512_loadu_si512(ENC_PLANES_IDX.as_ptr() as *const _), y);
-        let mask: u64 = if f == 16 { !0 } else { (1u64 << (4 * f)) - 1 };
-        _mm512_mask_storeu_epi8(out.as_mut_ptr().add(4) as *mut _, mask, planes);
+        let enc = _mm512_loadu_si512(ENC_PLANES_IDX.as_ptr() as *const _);
+        let fu = f as usize;
+        for p in 0..fu.div_ceil(16) {
+            // Merge the four groups' chunk-2p/2p+1 qwords into one vector
+            // laid out `[x₀₀ x₀₁ x₀₂ x₀₃ x₁₀ x₁₁ x₁₂ x₁₃]`
+            // (x_{pair-relative chunk, group}).
+            let c0 = 2 * p as i64;
+            let sel = _mm512_setr_epi64(c0, 8 + c0, 0, 0, c0 + 1, 9 + c0, 0, 0);
+            let p01 = _mm512_permutex2var_epi64(limbs[0], sel, limbs[1]);
+            let p23 = _mm512_permutex2var_epi64(limbs[2], sel, limbs[3]);
+            let z =
+                _mm512_permutex2var_epi64(p01, _mm512_setr_epi64(0, 1, 8, 9, 4, 5, 12, 13), p23);
+            // Eight bit transposes at once, then one byte permute lands
+            // every plane byte at its Fig 11 position; a masked store
+            // writes exactly the pair's `4·count` plane bytes.
+            let y = transpose8x8_x8(z);
+            let planes = _mm512_permutexvar_epi8(enc, y);
+            let count = (fu - 16 * p).min(16);
+            let mask: u64 = if count == 16 {
+                !0
+            } else {
+                (1u64 << (4 * count)) - 1
+            };
+            _mm512_mask_storeu_epi8(out.as_mut_ptr().add(4 + 64 * p) as *mut _, mask, planes);
+        }
     }
 
+    /// Decode one block's 32 quantization integers into four 8-lane
+    /// vectors (value groups in order): inverse plane permute +
+    /// bit transpose per chunk pair, then per group the magnitude chunks
+    /// are gathered, byte-untransposed, sign-applied, and Lorenzo
+    /// prefix-summed. Shared by the fused `f32`/`f64` exits.
+    ///
     /// # Safety
     /// Requires `avx512f`, `avx512dq`, `avx512bw`, `avx512vbmi`.
+    #[inline]
     #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vbmi")]
-    pub unsafe fn decode_block32(payload: &[u8], f: u8, lorenzo: bool, q: &mut [i64]) {
-        let mask: u64 = if f == 16 { !0 } else { (1u64 << (4 * f)) - 1 };
-        // Zero-masked load: absent planes decode as zero magnitude bits.
-        let planes = _mm512_maskz_loadu_epi8(mask, payload.as_ptr().add(4) as *const _);
-        let y = _mm512_permutexvar_epi8(
-            _mm512_loadu_si512(DEC_PLANES_IDX.as_ptr() as *const _),
-            planes,
-        );
-        let z = transpose8x8_x8(y);
+    unsafe fn decode_block32_groups(payload: &[u8], f: u8, lorenzo: bool) -> [__m512i; 4] {
+        let dec = _mm512_loadu_si512(DEC_PLANES_IDX.as_ptr() as *const _);
+        let fu = f as usize;
+        let pairs = fu.div_ceil(16);
+        // zs[p]: bit-transposed plane pair p — qword g holds chunk 2p's
+        // group-g bytes, qword 4+g chunk 2p+1's. Unused pairs stay zero
+        // (absent planes decode as zero magnitude bits).
+        let mut zs = [_mm512_setzero_si512(); 4];
+        for (p, z) in zs.iter_mut().enumerate().take(pairs) {
+            let count = (fu - 16 * p).min(16);
+            let mask: u64 = if count == 16 {
+                !0
+            } else {
+                (1u64 << (4 * count)) - 1
+            };
+            let planes =
+                _mm512_maskz_loadu_epi8(mask, payload.as_ptr().add(4 + 64 * p) as *const _);
+            *z = transpose8x8_x8(_mm512_permutexvar_epi8(dec, planes));
+        }
         let signs = u32::from_le_bytes(payload[..4].try_into().expect("sign map"));
         let bt = _mm512_loadu_si512(BT_IDX.as_ptr() as *const _);
         let zero = _mm512_setzero_si512();
         let mut carry = _mm512_setzero_si512();
-        for g in 0..4 {
-            // Split group g's chunk qwords back out, un-transpose bytes,
-            // apply the sign map, then the Lorenzo scan.
-            let idx = _mm512_setr_epi64(g as i64, 4 + g as i64, 8, 8, 8, 8, 8, 8);
-            let limbs = _mm512_permutex2var_epi64(z, idx, zero);
+        let mut out = [_mm512_setzero_si512(); 4];
+        for (g, dst) in out.iter_mut().enumerate() {
+            // Gather group g's magnitude chunks (qword t = chunk t), un-
+            // transpose bytes, apply the sign map, then the Lorenzo scan.
+            let gi = g as i64;
+            let lo_idx = _mm512_setr_epi64(gi, 4 + gi, 8 + gi, 12 + gi, 0, 0, 0, 0);
+            let mut limbs = _mm512_maskz_permutex2var_epi64(0x0F, zs[0], lo_idx, zs[1]);
+            if pairs > 2 {
+                let hi_idx = _mm512_setr_epi64(0, 0, 0, 0, gi, 4 + gi, 8 + gi, 12 + gi);
+                limbs = _mm512_or_si512(
+                    limbs,
+                    _mm512_maskz_permutex2var_epi64(0xF0, zs[2], hi_idx, zs[3]),
+                );
+            }
             let abs = _mm512_permutexvar_epi8(bt, limbs);
             let smask = ((signs >> (8 * g)) & 0xFF) as u8;
             let mut v = _mm512_mask_sub_epi64(abs, smask, zero, abs);
@@ -333,7 +543,121 @@ mod avx512_impl {
                 v = _mm512_add_epi64(v, carry);
                 carry = _mm512_permutexvar_epi64(_mm512_set1_epi64(7), v);
             }
-            _mm512_storeu_si512(q.as_mut_ptr().add(8 * g) as *mut _, v);
+            *dst = v;
+        }
+        out
+    }
+
+    /// Narrow decode for `f ≤ 16`: one block's 32 quantization integers
+    /// as two 16-lane `i32` vectors (value order). With at most 16
+    /// planes every magnitude fits `u16`, so after the single pair's
+    /// inverse permute + bit transpose, one [`INTERLEAVE_IDX`] `vpermb`
+    /// yields all 32 magnitudes at once — the per-group qword gathers
+    /// and byte un-transposes of the wide path vanish, and the Lorenzo
+    /// scan runs over 16 lanes in two rounds-of-five instead of four
+    /// rounds-of-four. Prefix sums stay below `32 · 2¹⁶ < 2²¹`, so `i32`
+    /// arithmetic is exact (identical to the scalar `i64` decode).
+    ///
+    /// # Safety
+    /// Requires `avx512f`, `avx512dq`, `avx512bw`, `avx512vbmi`, and
+    /// `1 ≤ f ≤ 16`.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vbmi")]
+    unsafe fn decode_block32_narrow(payload: &[u8], f: u8, lorenzo: bool) -> [__m512i; 2] {
+        let fu = f as usize;
+        let mask: u64 = if fu == 16 { !0 } else { (1u64 << (4 * fu)) - 1 };
+        let planes = _mm512_maskz_loadu_epi8(mask, payload.as_ptr().add(4) as *const _);
+        let dec = _mm512_loadu_si512(DEC_PLANES_IDX.as_ptr() as *const _);
+        let z = transpose8x8_x8(_mm512_permutexvar_epi8(dec, planes));
+        let inter = _mm512_loadu_si512(INTERLEAVE_IDX.as_ptr() as *const _);
+        let mags = _mm512_permutexvar_epi8(inter, z);
+        let signs = u32::from_le_bytes(payload[..4].try_into().expect("sign map"));
+        let zero = _mm512_setzero_si512();
+        let mut carry = zero;
+        let mut out = [zero; 2];
+        for (h, dst) in out.iter_mut().enumerate() {
+            let half = if h == 0 {
+                _mm512_castsi512_si256(mags)
+            } else {
+                _mm512_extracti64x4_epi64(mags, 1)
+            };
+            let w = _mm512_cvtepu16_epi32(half);
+            let smask = ((signs >> (16 * h)) & 0xFFFF) as u16;
+            let mut v = _mm512_mask_sub_epi32(w, smask, zero, w);
+            if lorenzo {
+                v = _mm512_add_epi32(v, _mm512_alignr_epi32(v, zero, 15));
+                v = _mm512_add_epi32(v, _mm512_alignr_epi32(v, zero, 14));
+                v = _mm512_add_epi32(v, _mm512_alignr_epi32(v, zero, 12));
+                v = _mm512_add_epi32(v, _mm512_alignr_epi32(v, zero, 8));
+                v = _mm512_add_epi32(v, carry);
+                carry = _mm512_permutexvar_epi32(_mm512_set1_epi32(15), v);
+            }
+            *dst = v;
+        }
+        out
+    }
+
+    /// Fused decode + dequantize to `f32`.
+    ///
+    /// # Safety
+    /// Requires `avx512f`, `avx512dq`, `avx512bw`, `avx512vbmi`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vbmi")]
+    pub unsafe fn decode_block32_f32(
+        payload: &[u8],
+        f: u8,
+        lorenzo: bool,
+        eb: f64,
+        out: &mut [f32],
+    ) {
+        let veb = _mm512_set1_pd(2.0 * eb);
+        if f <= 16 {
+            let halves = decode_block32_narrow(payload, f, lorenzo);
+            for (h, v) in halves.iter().enumerate() {
+                let lo = _mm512_cvtepi32_pd(_mm512_castsi512_si256(*v));
+                let hi = _mm512_cvtepi32_pd(_mm512_extracti64x4_epi64(*v, 1));
+                let p = out.as_mut_ptr().add(16 * h);
+                _mm256_storeu_ps(p, _mm512_cvtpd_ps(_mm512_mul_pd(lo, veb)));
+                _mm256_storeu_ps(p.add(8), _mm512_cvtpd_ps(_mm512_mul_pd(hi, veb)));
+            }
+        } else {
+            let groups = decode_block32_groups(payload, f, lorenzo);
+            for (g, v) in groups.iter().enumerate() {
+                let d = _mm512_mul_pd(_mm512_cvtepi64_pd(*v), veb);
+                _mm256_storeu_ps(out.as_mut_ptr().add(8 * g), _mm512_cvtpd_ps(d));
+            }
+        }
+    }
+
+    /// Fused decode + dequantize to `f64`.
+    ///
+    /// # Safety
+    /// Requires `avx512f`, `avx512dq`, `avx512bw`, `avx512vbmi`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vbmi")]
+    pub unsafe fn decode_block32_f64(
+        payload: &[u8],
+        f: u8,
+        lorenzo: bool,
+        eb: f64,
+        out: &mut [f64],
+    ) {
+        let veb = _mm512_set1_pd(2.0 * eb);
+        if f <= 16 {
+            let halves = decode_block32_narrow(payload, f, lorenzo);
+            for (h, v) in halves.iter().enumerate() {
+                let lo = _mm512_cvtepi32_pd(_mm512_castsi512_si256(*v));
+                let hi = _mm512_cvtepi32_pd(_mm512_extracti64x4_epi64(*v, 1));
+                let p = out.as_mut_ptr().add(16 * h);
+                _mm512_storeu_pd(p, _mm512_mul_pd(lo, veb));
+                _mm512_storeu_pd(p.add(8), _mm512_mul_pd(hi, veb));
+            }
+        } else {
+            let groups = decode_block32_groups(payload, f, lorenzo);
+            for (g, v) in groups.iter().enumerate() {
+                _mm512_storeu_pd(
+                    out.as_mut_ptr().add(8 * g),
+                    _mm512_mul_pd(_mm512_cvtepi64_pd(*v), veb),
+                );
+            }
         }
     }
 
@@ -458,6 +782,276 @@ mod avx512_impl {
     }
 }
 
+/// 256-bit block codec for `L = 32`, `F ≤ 16`.
+///
+/// AVX2 has no `vpermb` and no 512-bit delta-swap, so the kernel takes a
+/// different route to the same bytes: the 32 magnitudes (which fit `u16`
+/// because `F ≤ 16`) are packed into two byte vectors — one per
+/// magnitude byte — put into **value order** with a `vpermd` + `vpshufb`
+/// pair, and then each bit plane falls out of one `vpmovmskb` per plane
+/// (bit `j` of the 32-bit mask *is* plane bit `j` of value `j`, exactly
+/// the Fig 11 plane word). Decoding inverts that with a broadcast +
+/// `vpshufb` + byte-test per plane, then rebuilds `i64` lanes and runs a
+/// 4-lane Lorenzo scan. Dequantization is fused via the magic-number
+/// `i64 → f64` conversion, exact below 2⁵¹ (decoded Lorenzo sums stay
+/// below 2²¹).
+#[cfg(target_arch = "x86_64")]
+mod avx2_impl {
+    use std::arch::x86_64::*;
+
+    /// Bring the pack result into value order, part 1: dword gather.
+    /// After `vpackuswb(w_lo & FF, w_hi & FF)` the byte that belongs to
+    /// value `j` sits at a fixed permutation of positions whose dwords
+    /// regroup per 128-bit destination lane as `[0, 1, 4, 5 | 2, 3, 6, 7]`.
+    ///
+    /// # Safety
+    /// Requires `avx2`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn value_order(x: __m256i) -> __m256i {
+        let perm = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+        // Part 2: in-lane byte shuffle. Post-gather, lane byte `4i + l`
+        // holds value `4i + l`'s byte at position `4l + i` — the same
+        // 4×4 transpose in both lanes.
+        let shuf = _mm256_setr_epi8(
+            0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15, //
+            0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15,
+        );
+        _mm256_shuffle_epi8(_mm256_permutevar8x32_epi32(x, perm), shuf)
+    }
+
+    /// Store planes `base .. min(base+8, f)` from `x` (byte `j` = byte
+    /// `base/8` of value `j`'s magnitude): one `vpmovmskb` per plane,
+    /// walking bit 7 → 0 by per-byte doubling.
+    ///
+    /// # Safety
+    /// Requires `avx2`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_planes(x: __m256i, base: u8, f: u8, out: &mut [u8]) {
+        let mut s = x;
+        for k in (0..8u8).rev() {
+            let plane = base + k;
+            if plane < f {
+                let m = _mm256_movemask_epi8(s) as u32;
+                out[4 + 4 * plane as usize..][..4].copy_from_slice(&m.to_le_bytes());
+            }
+            s = _mm256_add_epi8(s, s);
+        }
+    }
+
+    /// # Safety
+    /// Requires `avx2`; caller guarantees `resid.len() == 32`,
+    /// `1 ≤ f ≤ 16` (so every `|residual| < 2¹⁶`), and
+    /// `out.len() == 4 + 4f`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn encode_block32(resid: &[i64], f: u8, out: &mut [u8]) {
+        let zero = _mm256_setzero_si256();
+        let mut v = [zero; 8];
+        let mut signs = 0u32;
+        for (i, reg) in v.iter_mut().enumerate() {
+            let x = _mm256_loadu_si256(resid.as_ptr().add(4 * i) as *const __m256i);
+            // The i64 sign bit is the f64 sign bit — `vmovmskpd` reads it.
+            signs |= (_mm256_movemask_pd(_mm256_castsi256_pd(x)) as u32) << (4 * i);
+            let neg = _mm256_cmpgt_epi64(zero, x);
+            *reg = _mm256_sub_epi64(_mm256_xor_si256(x, neg), neg);
+        }
+        out[..4].copy_from_slice(&signs.to_le_bytes());
+        // Fold the 32 (≤16-bit) magnitudes into two u16 vectors: u16 slot
+        // `4l + i` of w_lo holds value `4i + l` (i64 lane l survives, the
+        // source register index i becomes the sub-slot).
+        let w_lo = _mm256_or_si256(
+            _mm256_or_si256(v[0], _mm256_slli_epi64(v[1], 16)),
+            _mm256_or_si256(_mm256_slli_epi64(v[2], 32), _mm256_slli_epi64(v[3], 48)),
+        );
+        let w_hi = _mm256_or_si256(
+            _mm256_or_si256(v[4], _mm256_slli_epi64(v[5], 16)),
+            _mm256_or_si256(_mm256_slli_epi64(v[6], 32), _mm256_slli_epi64(v[7], 48)),
+        );
+        // Low magnitude bytes → planes 0..8; high bytes → planes 8..16.
+        let ff = _mm256_set1_epi16(0x00FF);
+        let lo = value_order(_mm256_packus_epi16(
+            _mm256_and_si256(w_lo, ff),
+            _mm256_and_si256(w_hi, ff),
+        ));
+        store_planes(lo, 0, f, out);
+        if f > 8 {
+            let hi = value_order(_mm256_packus_epi16(
+                _mm256_srli_epi16(w_lo, 8),
+                _mm256_srli_epi16(w_hi, 8),
+            ));
+            store_planes(hi, 8, f, out);
+        }
+    }
+
+    /// Rebuild one magnitude byte (byte `base/8`, in value order) from
+    /// planes `base .. min(base+8, f)`: per plane, broadcast the 32-bit
+    /// plane word, replicate the byte that covers each value
+    /// (`vpshufb`), test its bit, and accumulate `1 << k` where set.
+    ///
+    /// # Safety
+    /// Requires `avx2`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather_planes(payload: &[u8], base: u8, f: u8) -> __m256i {
+        // Byte j of the replicate shuffle picks plane-word byte j/8; the
+        // plane word is broadcast per dword, so lane 1 (values 16..32)
+        // indexes bytes 2..4.
+        let rep_shuf = _mm256_setr_epi8(
+            0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, //
+            2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3,
+        );
+        let bits = _mm256_setr_epi8(
+            1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128, //
+            1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+        );
+        let mut acc = _mm256_setzero_si256();
+        for k in 0..(f - base).min(8) {
+            let plane = (base + k) as usize;
+            let p = u32::from_le_bytes(payload[4 + 4 * plane..][..4].try_into().expect("plane"));
+            let rep = _mm256_shuffle_epi8(_mm256_set1_epi32(p as i32), rep_shuf);
+            let has = _mm256_cmpeq_epi8(_mm256_and_si256(rep, bits), bits);
+            acc = _mm256_or_si256(
+                acc,
+                _mm256_and_si256(has, _mm256_set1_epi8((1u8 << k) as i8)),
+            );
+        }
+        acc
+    }
+
+    /// Exact `i64 → f64` for `|v| < 2⁵¹` (magic-number trick): embed the
+    /// two's-complement value in the mantissa of `2⁵² + 2⁵¹`, subtract
+    /// the magic back out. Decoded quantization integers are bounded by
+    /// `32 · (2¹⁶ − 1) < 2²¹`, far inside the exact range.
+    ///
+    /// # Safety
+    /// Requires `avx2`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn i64_to_f64(v: __m256i) -> __m256d {
+        let magic_bits = _mm256_set1_epi64x(0x4338_0000_0000_0000);
+        let magic = _mm256_set1_pd(6_755_399_441_055_744.0); // 2⁵² + 2⁵¹
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_add_epi64(v, magic_bits)), magic)
+    }
+
+    /// `[0, v₀, v₁, v₂]` — the 1-lane shift of the 4-lane inclusive scan.
+    ///
+    /// # Safety
+    /// Requires `avx2`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn scan_shift1(v: __m256i) -> __m256i {
+        _mm256_blend_epi32(
+            _mm256_permute4x64_epi64(v, 0b10_01_00_00),
+            _mm256_setzero_si256(),
+            0x03,
+        )
+    }
+
+    /// `[0, 0, v₀, v₁]` — the 2-lane shift of the 4-lane inclusive scan.
+    ///
+    /// # Safety
+    /// Requires `avx2`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn scan_shift2(v: __m256i) -> __m256i {
+        _mm256_blend_epi32(
+            _mm256_permute4x64_epi64(v, 0b01_00_00_00),
+            _mm256_setzero_si256(),
+            0x0F,
+        )
+    }
+
+    /// Decode the block's 32 quantization integers as eight 4-lane
+    /// vectors (value order), signs applied and Lorenzo prefix-summed.
+    ///
+    /// # Safety
+    /// Requires `avx2`; caller guarantees `1 ≤ f ≤ 16` and
+    /// `payload.len() == 4 + 4f`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn decode_block32_q_v(payload: &[u8], f: u8, lorenzo: bool) -> [__m256i; 8] {
+        let lo = gather_planes(payload, 0, f);
+        let hi = if f > 8 {
+            gather_planes(payload, 8, f)
+        } else {
+            _mm256_setzero_si256()
+        };
+        // Interleave the two magnitude bytes back into u16s; the 128-bit
+        // halves come out as value runs [0..8 | 16..24] / [8..16 | 24..32].
+        let m_lo = _mm256_unpacklo_epi8(lo, hi);
+        let m_hi = _mm256_unpackhi_epi8(lo, hi);
+        let xs: [__m128i; 4] = [
+            _mm256_castsi256_si128(m_lo),      // values 0..8
+            _mm256_castsi256_si128(m_hi),      // values 8..16
+            _mm256_extracti128_si256(m_lo, 1), // values 16..24
+            _mm256_extracti128_si256(m_hi, 1), // values 24..32
+        ];
+        let signs = u32::from_le_bytes(payload[..4].try_into().expect("sign map"));
+        let sign_bits = _mm256_setr_epi64x(1, 2, 4, 8);
+        let mut carry = _mm256_setzero_si256();
+        let mut out = [_mm256_setzero_si256(); 8];
+        for (r, dst) in out.iter_mut().enumerate() {
+            let x = xs[r / 2];
+            let q = _mm256_cvtepu16_epi64(if r % 2 == 0 { x } else { _mm_srli_si128(x, 8) });
+            // Negate lanes whose sign-map bit (values 4r .. 4r+4) is set.
+            let s = _mm256_set1_epi64x(((signs >> (4 * r)) & 0xF) as i64);
+            let neg = _mm256_cmpeq_epi64(_mm256_and_si256(s, sign_bits), sign_bits);
+            let mut v = _mm256_sub_epi64(_mm256_xor_si256(q, neg), neg);
+            if lorenzo {
+                v = _mm256_add_epi64(v, scan_shift1(v));
+                v = _mm256_add_epi64(v, scan_shift2(v));
+                v = _mm256_add_epi64(v, carry);
+                carry = _mm256_permute4x64_epi64(v, 0xFF);
+            }
+            *dst = v;
+        }
+        out
+    }
+
+    /// Fused decode + dequantize to `f32`.
+    ///
+    /// # Safety
+    /// As [`decode_block32_q_v`]; `out.len() == 32`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn decode_block32_f32(
+        payload: &[u8],
+        f: u8,
+        lorenzo: bool,
+        eb: f64,
+        out: &mut [f32],
+    ) {
+        let vs = decode_block32_q_v(payload, f, lorenzo);
+        let veb = _mm256_set1_pd(2.0 * eb);
+        for (r, v) in vs.iter().enumerate() {
+            let d = _mm256_mul_pd(i64_to_f64(*v), veb);
+            _mm_storeu_ps(out.as_mut_ptr().add(4 * r), _mm256_cvtpd_ps(d));
+        }
+    }
+
+    /// Fused decode + dequantize to `f64`.
+    ///
+    /// # Safety
+    /// As [`decode_block32_q_v`]; `out.len() == 32`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn decode_block32_f64(
+        payload: &[u8],
+        f: u8,
+        lorenzo: bool,
+        eb: f64,
+        out: &mut [f64],
+    ) {
+        let vs = decode_block32_q_v(payload, f, lorenzo);
+        let veb = _mm256_set1_pd(2.0 * eb);
+        for (r, v) in vs.iter().enumerate() {
+            _mm256_storeu_pd(
+                out.as_mut_ptr().add(4 * r),
+                _mm256_mul_pd(i64_to_f64(*v), veb),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,13 +1091,18 @@ mod tests {
     #[test]
     fn quantize_matches_scalar_f64() {
         let data = nasty_f64();
-        for lorenzo in [false, true] {
-            let mut fast = vec![0i64; data.len()];
-            let got = quantize_lorenzo_block(&data, 0.01, lorenzo, &mut fast);
-            let mut want = vec![0i64; data.len()];
-            let want_max = quantize_lorenzo_scalar(&data, 0.01, lorenzo, &mut want, 0);
-            assert_eq!(fast, want, "lorenzo={lorenzo}");
-            assert_eq!(got, want_max);
+        for level in SimdLevel::ALL {
+            if level > detect_level() {
+                continue;
+            }
+            for lorenzo in [false, true] {
+                let mut fast = vec![0i64; data.len()];
+                let got = quantize_lorenzo_block_at(level, &data, 0.01, lorenzo, &mut fast);
+                let mut want = vec![0i64; data.len()];
+                let want_max = quantize_lorenzo_scalar(&data, 0.01, lorenzo, &mut want, 0);
+                assert_eq!(fast, want, "level={level} lorenzo={lorenzo}");
+                assert_eq!(got, want_max);
+            }
         }
     }
 
@@ -529,13 +1128,18 @@ mod tests {
             .into_iter()
             .chain((0..100).map(|i| i * 37 - 1850))
             .collect();
-        let mut f32s = vec![0.0f32; q.len()];
-        dequantize_slice(&q, 0.01, &mut f32s);
-        let mut f64s = vec![0.0f64; q.len()];
-        dequantize_slice(&q, 0.01, &mut f64s);
-        for (i, &r) in q.iter().enumerate() {
-            assert_eq!(f32s[i], dequantize::<f32>(r, 0.01), "f32 at {i}");
-            assert_eq!(f64s[i], dequantize::<f64>(r, 0.01), "f64 at {i}");
+        for level in SimdLevel::ALL {
+            if level > detect_level() {
+                continue;
+            }
+            let mut f32s = vec![0.0f32; q.len()];
+            dequantize_slice(level, &q, 0.01, &mut f32s);
+            let mut f64s = vec![0.0f64; q.len()];
+            dequantize_slice(level, &q, 0.01, &mut f64s);
+            for (i, &r) in q.iter().enumerate() {
+                assert_eq!(f32s[i], dequantize::<f32>(r, 0.01), "f32 at {i} ({level})");
+                assert_eq!(f64s[i], dequantize::<f64>(r, 0.01), "f64 at {i} ({level})");
+            }
         }
     }
 
@@ -547,5 +1151,25 @@ mod tests {
         let mut out = [0i64; 8];
         quantize_lorenzo_block(&data, 0.25, false, &mut out);
         assert_eq!(&out[..6], &[2, -2, 3, -3, 1, -1]);
+    }
+
+    #[test]
+    fn resolve_clamps_to_detected() {
+        let detected = detect_level();
+        for level in SimdLevel::ALL {
+            assert_eq!(resolve_level(Some(level)), level.min(detected));
+        }
+        assert_eq!(resolve_level(None).min(detected), resolve_level(None));
+    }
+
+    #[test]
+    fn level_parse_roundtrip() {
+        for level in SimdLevel::ALL {
+            assert_eq!(SimdLevel::parse(level.name()), Some(level));
+            assert_eq!(level.name().parse::<SimdLevel>(), Ok(level));
+        }
+        assert_eq!(SimdLevel::parse("AVX512"), Some(SimdLevel::Avx512));
+        assert!(SimdLevel::parse("sse2").is_none());
+        assert!("".parse::<SimdLevel>().is_err());
     }
 }

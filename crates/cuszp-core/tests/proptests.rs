@@ -24,7 +24,11 @@ fn config_strategy() -> impl Strategy<Value = CuszpConfig> {
         prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
         any::<bool>(),
     )
-        .prop_map(|(block_len, lorenzo)| CuszpConfig { block_len, lorenzo })
+        .prop_map(|(block_len, lorenzo)| CuszpConfig {
+            block_len,
+            lorenzo,
+            simd: None,
+        })
 }
 
 proptest! {

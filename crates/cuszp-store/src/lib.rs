@@ -23,6 +23,11 @@
 //! The partial-read path is pinned by differential tests (value-identical
 //! to full-decode-then-slice), a bytes-touched accounting check, and a
 //! counting-allocator proof of the zero-alloc claim.
+//!
+//! Decoding dispatches over the host's SIMD tiers automatically; the
+//! `CUSZP_SIMD` environment variable pins the tier **process-wide**
+//! (every shard and reader in the process), purely a performance knob —
+//! decoded values are identical at every tier.
 
 #![deny(missing_docs)]
 

@@ -49,7 +49,7 @@ pub fn run(ctx: &Ctx) {
     for l in [8usize, 16, 32, 64, 128] {
         let comp = CuszpAdapter::with_config(CuszpConfig {
             block_len: l,
-            lorenzo: true,
+            ..Default::default()
         });
         let m = measure_pipeline(&spec, &comp, &field, eb);
         rows.push(vec![l.to_string(), f2(m.ratio), f2(m.comp_e2e_gbps)]);
@@ -77,6 +77,7 @@ pub fn run(ctx: &Ctx) {
             let comp = CuszpAdapter::with_config(CuszpConfig {
                 block_len: 32,
                 lorenzo,
+                ..Default::default()
             });
             let m = measure_pipeline(&spec, &comp, &f, eb);
             rows.push(vec![

@@ -44,7 +44,11 @@ fn device_and_host_streams_are_identical_on_all_datasets() {
 fn equivalence_holds_for_nondefault_configs() {
     let field = generate_subset(DatasetId::Rtm, Scale::Tiny, 1).remove(0);
     for (block_len, lorenzo) in [(8usize, true), (64, true), (32, false), (128, false)] {
-        let codec = Cuszp::with_config(CuszpConfig { block_len, lorenzo });
+        let codec = Cuszp::with_config(CuszpConfig {
+            block_len,
+            lorenzo,
+            simd: None,
+        });
         let eb = codec.resolve_bound(&field.data, ErrorBound::Rel(1e-2));
         let host_stream = host_ref::compress(&field.data, eb, codec.config);
         let mut gpu = Gpu::new(DeviceSpec::a100());
