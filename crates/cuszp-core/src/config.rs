@@ -153,6 +153,15 @@ pub struct CuszpConfig {
     /// of the running process, not of a stream.
     #[serde(skip)]
     pub simd: Option<SimdLevel>,
+    /// Apply the lossless hybrid second stage ([`crate::hybrid`]) when
+    /// serializing: the fixed-length stream is re-coded per chunk by the
+    /// adaptive entropy coder and framed as `CUSZPHY1` whenever that is
+    /// smaller than the plain `CUSZP1` serialization. Purely a *framing*
+    /// switch — the stage is lossless, so reconstructed values and the
+    /// error-bound contract are identical with it on or off. Only
+    /// [`crate::Cuszp::compress_serialized`] and byte-stream consumers
+    /// honor it; the in-memory [`crate::Compressed`] API is unaffected.
+    pub hybrid: bool,
 }
 
 impl Default for CuszpConfig {
@@ -161,6 +170,7 @@ impl Default for CuszpConfig {
             block_len: DEFAULT_BLOCK_LEN,
             lorenzo: true,
             simd: None,
+            hybrid: false,
         }
     }
 }

@@ -60,6 +60,12 @@ pub enum FormatError {
     Truncated,
     /// Header fields are internally inconsistent.
     Corrupt(&'static str),
+    /// A `CUSZPHY1` chunk-table entry names a coding mode this reader
+    /// does not know (the offending byte is carried for diagnostics).
+    UnknownHybridMode(u8),
+    /// A `CUSZPHY1` chunk failed entropy decoding: the compressed bytes
+    /// are inconsistent with the recorded mode or raw length.
+    Entropy(&'static str),
 }
 
 impl std::fmt::Display for FormatError {
@@ -68,6 +74,10 @@ impl std::fmt::Display for FormatError {
             FormatError::BadMagic => write!(f, "not a cuSZp stream (bad magic)"),
             FormatError::Truncated => write!(f, "stream truncated"),
             FormatError::Corrupt(why) => write!(f, "corrupt stream: {why}"),
+            FormatError::UnknownHybridMode(m) => {
+                write!(f, "unknown hybrid chunk mode byte {m}")
+            }
+            FormatError::Entropy(why) => write!(f, "hybrid chunk corrupt: {why}"),
         }
     }
 }
@@ -150,6 +160,7 @@ impl Compressed {
             block_len: self.block_len as usize,
             lorenzo: self.lorenzo,
             simd: None,
+            hybrid: false,
         }
         .validate();
         if self.fixed_lengths.len() != self.num_blocks() {
@@ -328,6 +339,7 @@ impl<'a> CompressedRef<'a> {
             block_len: self.block_len as usize,
             lorenzo: self.lorenzo,
             simd: None,
+            hybrid: false,
         }
         .validate();
         if self.fixed_lengths.len() != self.num_blocks() {

@@ -1,0 +1,728 @@
+//! The `CUSZPHY1` hybrid frame: a lossless second stage over the
+//! fixed-length stream, chosen per chunk.
+//!
+//! cuSZp's fixed-length encoding (paper §4.2) deliberately stops short of
+//! entropy coding to stay at memory-bandwidth speed, and the paper's
+//! block-level adaptivity discussion notes the ratio left on the table at
+//! tight bounds, where bit-shuffled planes are mostly zero bytes. The
+//! hybrid frame recovers that ratio *without* touching the lossy layer:
+//! the serialized `CUSZP1` stream is split into chunks of
+//! [`DEFAULT_CHUNK_BLOCKS`] blocks (each chunk = its fixed-length bytes
+//! followed by its Eq-2 payload span), and every chunk is independently
+//! re-coded by [`cuszp_entropy`]'s adaptive coder — passthrough,
+//! constant flush, PackBits RLE, or canonical Huffman, whichever the
+//! sampled estimator picks and the size check confirms.
+//!
+//! ## Frame layout (normative spec in `docs/FORMAT.md` §CUSZPHY1)
+//!
+//! ```text
+//! magic "CUSZPHY1"  8 B
+//! lorenzo           1 B       (0 | 1)
+//! dtype             1 B       (0 = f32, 1 = f64)
+//! num_elements      8 B  LE
+//! block_len         4 B  LE
+//! eb                8 B  LE   (absolute bound, f64 bits)
+//! chunk_blocks      4 B  LE   (blocks per chunk, ≥ 1)
+//! num_chunks        4 B  LE   (= ⌈num_blocks / chunk_blocks⌉)
+//! chunk table       9 B × num_chunks: mode u8, comp_len u32, raw_len u32
+//! chunk payloads    back-to-back, comp_len bytes each
+//! ```
+//!
+//! Chunk payload offsets are prefix sums of the stored `comp_len`s, so
+//! variable-length chunks stay randomly accessible: a partial read scans
+//! the (tiny) table, not the payloads. Because every chunk falls back to
+//! passthrough when coding would not shrink it, a hybrid frame's payload
+//! never exceeds the plain stream's — and whole-frame fallback at the
+//! call sites ([`crate::Cuszp::compress_serialized`], the store codec)
+//! guarantees the *serialized* hybrid path is never larger than plain
+//! `CUSZP1` either, per-frame header overhead included.
+//!
+//! Decoding is single-pass per chunk: entropy-decode into a scratch
+//! buffer, re-validate the chunk as a standalone stream (fixed-length
+//! count and the exact Eq-2 payload size), then run the normal fast
+//! block decoder over exactly the requested blocks. The stage is
+//! lossless, so the error-bound contract is untouched.
+
+use crate::config::CuszpConfig;
+use crate::dtype::{DType, FloatData};
+use crate::encode::cmp_bytes_for;
+use crate::fast::{self, Scratch};
+use crate::format::{CompressedRef, FormatError, HEADER_BYTES};
+pub use cuszp_entropy::Mode;
+use cuszp_entropy::{decode_chunk, encode_chunk, select_mode};
+
+/// Magic bytes of the hybrid frame.
+pub const HYBRID_MAGIC: [u8; 8] = *b"CUSZPHY1";
+/// Serialized hybrid header size in bytes.
+pub const HYBRID_HEADER_BYTES: usize = 8 + 1 + 1 + 8 + 4 + 8 + 4 + 4;
+/// Bytes per chunk-table entry: mode byte + `comp_len` + `raw_len`.
+pub const TABLE_ENTRY_BYTES: usize = 9;
+/// Default blocks per chunk: 256 blocks (8192 elements at `L = 32`)
+/// keeps the raw chunk around the coders' sweet spot (tens of KiB) while
+/// the 9-byte table entry stays ≪ 0.1% overhead.
+pub const DEFAULT_CHUNK_BLOCKS: usize = 256;
+
+/// Reusable buffer for chunk staging. Capacity only grows, so encode and
+/// decode loops reach a zero-allocation steady state like
+/// [`crate::fast::Scratch`].
+#[derive(Debug, Default)]
+pub struct HybridScratch {
+    /// One chunk's raw bytes (fixed lengths ++ payload span).
+    raw: Vec<u8>,
+}
+
+impl HybridScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-grow for frames of up to `elems` elements so later encodes
+    /// and decodes allocate nothing.
+    pub fn warm_for<T: FloatData>(&mut self, elems: usize, cfg: CuszpConfig, chunk_blocks: usize) {
+        let cap = max_chunk_raw_bytes(T::DTYPE, cfg.block_len, chunk_blocks)
+            .min(fast::max_stream_bytes::<T>(elems, cfg));
+        if self.raw.capacity() < cap {
+            self.raw.reserve(cap - self.raw.len());
+        }
+    }
+
+    /// Bytes currently held (diagnostic).
+    pub fn capacity_bytes(&self) -> usize {
+        self.raw.capacity()
+    }
+}
+
+/// Worst-case raw bytes of one chunk: every block stores a fixed-length
+/// byte plus a maximal Eq-2 payload.
+fn max_chunk_raw_bytes(dtype: DType, block_len: usize, chunk_blocks: usize) -> usize {
+    let _ = dtype; // the wire format admits F ≤ 64 for either dtype
+    chunk_blocks * (1 + cmp_bytes_for(64, block_len) as usize)
+}
+
+/// Upper bound on the serialized hybrid frame for `elems` elements —
+/// what a caller should reserve to keep re-encoding allocation-free.
+pub fn max_frame_bytes<T: FloatData>(elems: usize, cfg: CuszpConfig, chunk_blocks: usize) -> usize {
+    let num_blocks = elems.div_ceil(cfg.block_len);
+    let chunks = num_blocks.div_ceil(chunk_blocks.max(1));
+    HYBRID_HEADER_BYTES + chunks * TABLE_ENTRY_BYTES + fast::max_stream_bytes::<T>(elems, cfg)
+        - HEADER_BYTES
+}
+
+/// Encode `r` as a `CUSZPHY1` frame into `out` (cleared first), letting
+/// the sampled estimator pick each chunk's mode. See [`encode_with`].
+pub fn encode(
+    r: &CompressedRef<'_>,
+    chunk_blocks: usize,
+    hs: &mut HybridScratch,
+    out: &mut Vec<u8>,
+) {
+    encode_with(r, chunk_blocks, None, hs, out)
+}
+
+/// Encode `r` as a `CUSZPHY1` frame into `out` (cleared first).
+///
+/// `force` pins every chunk to one requested mode — the per-mode
+/// benchmark rows — while `None` runs the estimator per chunk. Either
+/// way [`cuszp_entropy::encode_chunk`]'s size check applies, so the
+/// recorded mode may still fall back to [`Mode::Pass`] and no chunk is
+/// ever stored larger than its raw bytes.
+///
+/// # Panics
+/// Panics if `r` is not structurally valid ([`CompressedRef::validate`]),
+/// or if `chunk_blocks` is zero or its raw chunk size cannot be indexed
+/// by the table's `u32` fields.
+pub fn encode_with(
+    r: &CompressedRef<'_>,
+    chunk_blocks: usize,
+    force: Option<Mode>,
+    hs: &mut HybridScratch,
+    out: &mut Vec<u8>,
+) {
+    r.validate().expect("hybrid encode requires a valid stream");
+    assert!(chunk_blocks >= 1, "chunk_blocks must be positive");
+    assert!(
+        max_chunk_raw_bytes(r.dtype, r.block_len as usize, chunk_blocks) <= u32::MAX as usize,
+        "chunk raw size must fit the table's u32"
+    );
+    let num_blocks = r.num_blocks();
+    let chunks = num_blocks.div_ceil(chunk_blocks);
+    assert!(chunks <= u32::MAX as usize, "chunk count must fit u32");
+
+    out.clear();
+    out.extend_from_slice(&HYBRID_MAGIC);
+    out.push(r.lorenzo as u8);
+    out.push(r.dtype.to_byte());
+    out.extend_from_slice(&r.num_elements.to_le_bytes());
+    out.extend_from_slice(&r.block_len.to_le_bytes());
+    out.extend_from_slice(&r.eb.to_le_bytes());
+    out.extend_from_slice(&(chunk_blocks as u32).to_le_bytes());
+    out.extend_from_slice(&(chunks as u32).to_le_bytes());
+    let table_at = out.len();
+    out.resize(table_at + chunks * TABLE_ENTRY_BYTES, 0);
+
+    for c in 0..chunks {
+        let b0 = c * chunk_blocks;
+        let b1 = ((c + 1) * chunk_blocks).min(num_blocks);
+        let span = r
+            .payload_span(b0..b1)
+            .expect("validated stream has in-range spans");
+        hs.raw.clear();
+        hs.raw.extend_from_slice(&r.fixed_lengths[b0..b1]);
+        hs.raw.extend_from_slice(&r.payload[span]);
+
+        let mode = force.unwrap_or_else(|| select_mode(&hs.raw));
+        let mark = out.len();
+        let used = encode_chunk(mode, &hs.raw, out);
+        let comp_len = (out.len() - mark) as u32;
+        let e = table_at + c * TABLE_ENTRY_BYTES;
+        out[e] = used.to_byte();
+        out[e + 1..e + 5].copy_from_slice(&comp_len.to_le_bytes());
+        out[e + 5..e + 9].copy_from_slice(&(hs.raw.len() as u32).to_le_bytes());
+    }
+}
+
+/// A parsed `CUSZPHY1` frame borrowing its table and payload from the
+/// serialized bytes. [`HybridRef::parse`] performs the full structural
+/// validation documented in `docs/FORMAT.md`; per-chunk payload contents
+/// are validated when decoded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridRef<'a> {
+    /// Element count of the original array.
+    pub num_elements: u64,
+    /// Block length `L` of the inner fixed-length stream.
+    pub block_len: u32,
+    /// The absolute error bound of the inner stream.
+    pub eb: f64,
+    /// Whether Lorenzo prediction was applied.
+    pub lorenzo: bool,
+    /// Element type of the original data.
+    pub dtype: DType,
+    /// Blocks per chunk.
+    pub chunk_blocks: u32,
+    table: &'a [u8],
+    payload: &'a [u8],
+}
+
+impl<'a> HybridRef<'a> {
+    /// Parse and validate a serialized hybrid frame.
+    ///
+    /// Validation order (each check only runs once the previous passed):
+    /// header length → magic → header field sanity (lorenzo, dtype,
+    /// block length, bound, chunk size) → chunk count vs geometry →
+    /// table bounds → per-entry mode byte and length invariants → exact
+    /// payload size. Every rejection is a typed [`FormatError`]; nothing
+    /// panics on malformed bytes.
+    pub fn parse(bytes: &'a [u8]) -> Result<HybridRef<'a>, FormatError> {
+        if bytes.len() < HYBRID_HEADER_BYTES {
+            return Err(FormatError::Truncated);
+        }
+        if bytes[..8] != HYBRID_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let lorenzo = match bytes[8] {
+            0 => false,
+            1 => true,
+            _ => return Err(FormatError::Corrupt("bad lorenzo flag")),
+        };
+        let dtype = DType::from_byte(bytes[9]).ok_or(FormatError::Corrupt("bad dtype"))?;
+        let num_elements = u64::from_le_bytes(bytes[10..18].try_into().expect("len checked"));
+        let block_len = u32::from_le_bytes(bytes[18..22].try_into().expect("len checked"));
+        let eb = f64::from_le_bytes(bytes[22..30].try_into().expect("len checked"));
+        let chunk_blocks = u32::from_le_bytes(bytes[30..34].try_into().expect("len checked"));
+        let num_chunks = u32::from_le_bytes(bytes[34..38].try_into().expect("len checked"));
+        if block_len == 0 || block_len % 8 != 0 || block_len > 4096 {
+            return Err(FormatError::Corrupt("bad block length"));
+        }
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(FormatError::Corrupt("bad error bound"));
+        }
+        if chunk_blocks == 0 {
+            return Err(FormatError::Corrupt("bad chunk size"));
+        }
+        let num_blocks = num_elements.div_ceil(u64::from(block_len));
+        if u64::from(num_chunks) != num_blocks.div_ceil(u64::from(chunk_blocks)) {
+            return Err(FormatError::Corrupt("chunk count vs geometry"));
+        }
+        let table_bytes = u64::from(num_chunks) * TABLE_ENTRY_BYTES as u64;
+        if (bytes.len() as u64) < HYBRID_HEADER_BYTES as u64 + table_bytes {
+            return Err(FormatError::Truncated);
+        }
+        let table = &bytes[HYBRID_HEADER_BYTES..HYBRID_HEADER_BYTES + table_bytes as usize];
+        let payload = &bytes[HYBRID_HEADER_BYTES + table_bytes as usize..];
+
+        let worst_raw =
+            max_chunk_raw_bytes(dtype, block_len as usize, chunk_blocks as usize) as u64;
+        let mut total_comp = 0u64;
+        for c in 0..num_chunks as usize {
+            let e = &table[c * TABLE_ENTRY_BYTES..(c + 1) * TABLE_ENTRY_BYTES];
+            let mode = Mode::from_byte(e[0]).ok_or(FormatError::UnknownHybridMode(e[0]))?;
+            let comp_len = u64::from(u32::from_le_bytes(e[1..5].try_into().expect("len")));
+            let raw_len = u64::from(u32::from_le_bytes(e[5..9].try_into().expect("len")));
+            let blocks_in_chunk = blocks_in_chunk(num_blocks, chunk_blocks, c as u64);
+            if raw_len < blocks_in_chunk || raw_len > worst_raw {
+                return Err(FormatError::Corrupt("chunk raw length out of range"));
+            }
+            match mode {
+                Mode::Pass => {
+                    if comp_len != raw_len {
+                        return Err(FormatError::Corrupt("pass chunk size vs raw"));
+                    }
+                }
+                Mode::Constant => {
+                    if comp_len != 1 {
+                        return Err(FormatError::Corrupt("constant chunk size"));
+                    }
+                }
+                Mode::Rle | Mode::Huffman => {
+                    if comp_len >= raw_len {
+                        return Err(FormatError::Corrupt("coded chunk not smaller than raw"));
+                    }
+                }
+            }
+            total_comp += comp_len;
+        }
+        if (payload.len() as u64) < total_comp {
+            return Err(FormatError::Truncated);
+        }
+        if (payload.len() as u64) > total_comp {
+            return Err(FormatError::Corrupt("trailing bytes"));
+        }
+        Ok(HybridRef {
+            num_elements,
+            block_len,
+            eb,
+            lorenzo,
+            dtype,
+            chunk_blocks,
+            table,
+            payload,
+        })
+    }
+
+    /// Number of blocks of the inner fixed-length stream.
+    pub fn num_blocks(&self) -> usize {
+        (self.num_elements as usize).div_ceil(self.block_len as usize)
+    }
+
+    /// Number of chunks in the table.
+    pub fn num_chunks(&self) -> usize {
+        self.table.len() / TABLE_ENTRY_BYTES
+    }
+
+    /// The stored stream size (table + payloads) — the hybrid analogue
+    /// of [`CompressedRef::stream_bytes`].
+    pub fn stream_bytes(&self) -> u64 {
+        (self.table.len() + self.payload.len()) as u64
+    }
+
+    /// Stream size plus the frame header.
+    pub fn total_bytes(&self) -> u64 {
+        self.stream_bytes() + HYBRID_HEADER_BYTES as u64
+    }
+
+    /// Chunk `c`'s table entry: `(mode, comp_len, raw_len)`.
+    pub fn entry(&self, c: usize) -> (Mode, u32, u32) {
+        let e = &self.table[c * TABLE_ENTRY_BYTES..(c + 1) * TABLE_ENTRY_BYTES];
+        (
+            Mode::from_byte(e[0]).expect("validated at parse"),
+            u32::from_le_bytes(e[1..5].try_into().expect("len")),
+            u32::from_le_bytes(e[5..9].try_into().expect("len")),
+        )
+    }
+
+    /// Per-mode chunk counts, indexed by mode byte (benchmark reporting).
+    pub fn mode_histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for c in 0..self.num_chunks() {
+            h[self.entry(c).0.to_byte() as usize] += 1;
+        }
+        h
+    }
+}
+
+/// Blocks covered by chunk `c`.
+fn blocks_in_chunk(num_blocks: u64, chunk_blocks: u32, c: u64) -> u64 {
+    let start = c * u64::from(chunk_blocks);
+    num_blocks.min(start + u64::from(chunk_blocks)) - start
+}
+
+/// Decode blocks `blocks` of the frame into `out`, touching only the
+/// chunks that overlap the range (the partial-read path behind the
+/// store's `decode_blocks`). Returns the number of stored chunk-payload
+/// bytes read — the bytes-touched accounting partial reads report.
+///
+/// `out.len()` must equal the element count the block range covers
+/// (`min(blocks.end·L, N) − blocks.start·L`).
+///
+/// Each touched chunk is entropy-decoded into the scratch buffer and
+/// re-validated as a standalone fixed-length stream (fixed-length bytes
+/// in range, payload exactly Eq 2) before the fast block decoder runs —
+/// so a frame that parses but carries inconsistent chunk *contents*
+/// still yields a typed error, never a panic or out-of-bounds decode.
+///
+/// # Panics
+/// Panics on API misuse only: a dtype mismatch between `T` and the
+/// frame, or an out-of-range `blocks`/`out` geometry.
+pub fn decode_blocks_into<T: FloatData>(
+    r: &HybridRef<'_>,
+    blocks: std::ops::Range<usize>,
+    hs: &mut HybridScratch,
+    scratch: &mut Scratch,
+    out: &mut [T],
+) -> Result<usize, FormatError> {
+    assert_eq!(r.dtype, T::DTYPE, "frame element type mismatch");
+    let l = r.block_len as usize;
+    let nb = r.num_blocks();
+    assert!(
+        blocks.start <= blocks.end && blocks.end <= nb,
+        "block range out of bounds"
+    );
+    let n = r.num_elements as usize;
+    let covered = n.min(blocks.end * l).saturating_sub(blocks.start * l);
+    assert_eq!(out.len(), covered, "output length vs block range");
+    if covered == 0 {
+        return Ok(0);
+    }
+
+    let k = r.chunk_blocks as usize;
+    let c0 = blocks.start / k;
+    let c1 = (blocks.end - 1) / k;
+    let mut offset = 0usize;
+    let mut touched = 0usize;
+    for c in 0..=c1 {
+        let (mode, comp_len, raw_len) = r.entry(c);
+        let (comp_len, raw_len) = (comp_len as usize, raw_len as usize);
+        if c < c0 {
+            offset += comp_len;
+            continue;
+        }
+        touched += comp_len;
+        let comp = &r.payload[offset..offset + comp_len];
+        offset += comp_len;
+
+        hs.raw.clear();
+        hs.raw.resize(raw_len, 0);
+        decode_chunk(mode, comp, &mut hs.raw).map_err(|e| FormatError::Entropy(e.0))?;
+
+        // Re-validate the chunk as a standalone stream before the fast
+        // decoder slices payload at Eq-2 offsets.
+        let chunk_first = c * k;
+        let bc = blocks_in_chunk(nb as u64, r.chunk_blocks, c as u64) as usize;
+        let chunk_elems = n.min((chunk_first + bc) * l) - chunk_first * l;
+        let fixed_lengths = &hs.raw[..bc];
+        if fixed_lengths.iter().any(|&f| f > 64) {
+            return Err(FormatError::Corrupt("fixed length exceeds 64 bits"));
+        }
+        let chunk_ref = CompressedRef {
+            num_elements: chunk_elems as u64,
+            block_len: r.block_len,
+            eb: r.eb,
+            lorenzo: r.lorenzo,
+            dtype: r.dtype,
+            fixed_lengths,
+            payload: &hs.raw[bc..],
+        };
+        chunk_ref.validate()?;
+
+        let lo = blocks.start.max(chunk_first) - chunk_first;
+        let hi = blocks.end.min(chunk_first + bc) - chunk_first;
+        let out_at = (chunk_first + lo) * l - blocks.start * l;
+        let out_elems = chunk_elems.min(hi * l) - lo * l;
+        fast::decompress_blocks_into(
+            chunk_ref,
+            lo..hi,
+            scratch,
+            &mut out[out_at..out_at + out_elems],
+        );
+    }
+    Ok(touched)
+}
+
+/// Decode the whole frame into `out` (`out.len()` must equal the frame's
+/// element count).
+pub fn decode_into<T: FloatData>(
+    r: &HybridRef<'_>,
+    hs: &mut HybridScratch,
+    scratch: &mut Scratch,
+    out: &mut [T],
+) -> Result<(), FormatError> {
+    decode_blocks_into(r, 0..r.num_blocks(), hs, scratch, out).map(|_| ())
+}
+
+/// Reconstruct the exact plain `CUSZP1` serialization the frame was
+/// encoded from, into `out` (cleared first) — the second stage undone,
+/// byte for byte. This is what the differential proptests pin: hybrid
+/// framing is invertible down to the serialized pre-stage payload.
+pub fn decode_stream_bytes(
+    r: &HybridRef<'_>,
+    hs: &mut HybridScratch,
+    out: &mut Vec<u8>,
+) -> Result<(), FormatError> {
+    let nb = r.num_blocks();
+    let mut total_payload = 0usize;
+    for c in 0..r.num_chunks() {
+        let (_, _, raw_len) = r.entry(c);
+        let bc = blocks_in_chunk(nb as u64, r.chunk_blocks, c as u64) as usize;
+        total_payload += (raw_len as usize)
+            .checked_sub(bc)
+            .expect("parse enforces raw_len ≥ blocks");
+    }
+
+    out.clear();
+    out.resize(HEADER_BYTES + nb + total_payload, 0);
+    let inner = CompressedRef {
+        num_elements: r.num_elements,
+        block_len: r.block_len,
+        eb: r.eb,
+        lorenzo: r.lorenzo,
+        dtype: r.dtype,
+        fixed_lengths: &[],
+        payload: &[],
+    };
+    out[..HEADER_BYTES].copy_from_slice(&inner.header_bytes());
+
+    let mut offset = 0usize;
+    let mut fl_at = HEADER_BYTES;
+    let mut pay_at = HEADER_BYTES + nb;
+    for c in 0..r.num_chunks() {
+        let (mode, comp_len, raw_len) = r.entry(c);
+        let comp = &r.payload[offset..offset + comp_len as usize];
+        offset += comp_len as usize;
+        hs.raw.clear();
+        hs.raw.resize(raw_len as usize, 0);
+        decode_chunk(mode, comp, &mut hs.raw).map_err(|e| FormatError::Entropy(e.0))?;
+        let bc = blocks_in_chunk(nb as u64, r.chunk_blocks, c as u64) as usize;
+        out[fl_at..fl_at + bc].copy_from_slice(&hs.raw[..bc]);
+        fl_at += bc;
+        let pay = raw_len as usize - bc;
+        out[pay_at..pay_at + pay].copy_from_slice(&hs.raw[bc..]);
+        pay_at += pay;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErrorBound;
+    use crate::Cuszp;
+
+    fn wave(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.004).sin() * 8.0).collect()
+    }
+
+    fn frame(data: &[f32], eb: f64, chunk_blocks: usize, force: Option<Mode>) -> Vec<u8> {
+        let c = fast::compress(data, eb, CuszpConfig::default());
+        let mut hs = HybridScratch::new();
+        let mut out = Vec::new();
+        encode_with(&c.as_ref(), chunk_blocks, force, &mut hs, &mut out);
+        out
+    }
+
+    #[test]
+    fn roundtrip_matches_plain_decode() {
+        for n in [0usize, 1, 31, 32, 8192, 100_000] {
+            let data = wave(n);
+            let c = fast::compress(&data, 1e-3, CuszpConfig::default());
+            let plain: Vec<f32> = fast::decompress(&c);
+            let bytes = frame(&data, 1e-3, DEFAULT_CHUNK_BLOCKS, None);
+            let r = HybridRef::parse(&bytes).unwrap();
+            let mut out = vec![0f32; n];
+            decode_into(&r, &mut HybridScratch::new(), &mut Scratch::new(), &mut out).unwrap();
+            assert_eq!(out, plain, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn every_forced_mode_roundtrips() {
+        let data = wave(50_000);
+        let c = fast::compress(&data, 1e-3, CuszpConfig::default());
+        let plain: Vec<f32> = fast::decompress(&c);
+        for mode in Mode::ALL {
+            let bytes = frame(&data, 1e-3, DEFAULT_CHUNK_BLOCKS, Some(mode));
+            let r = HybridRef::parse(&bytes).unwrap();
+            let mut out = vec![0f32; data.len()];
+            decode_into(&r, &mut HybridScratch::new(), &mut Scratch::new(), &mut out).unwrap();
+            assert_eq!(out, plain, "forced {mode}");
+        }
+    }
+
+    #[test]
+    fn adaptive_is_never_larger_than_pass() {
+        for eb in [1e-1, 1e-3, 1e-5] {
+            let data = wave(65_000);
+            let adaptive = frame(&data, eb, DEFAULT_CHUNK_BLOCKS, None);
+            let pass = frame(&data, eb, DEFAULT_CHUNK_BLOCKS, Some(Mode::Pass));
+            assert!(adaptive.len() <= pass.len(), "eb = {eb}");
+        }
+    }
+
+    #[test]
+    fn partial_decode_matches_full() {
+        let data = wave(40_000);
+        let bytes = frame(&data, 1e-3, 64, None);
+        let r = HybridRef::parse(&bytes).unwrap();
+        let mut full = vec![0f32; data.len()];
+        let mut hs = HybridScratch::new();
+        let mut scratch = Scratch::new();
+        decode_into(&r, &mut hs, &mut scratch, &mut full).unwrap();
+        let l = r.block_len as usize;
+        for (b0, b1) in [
+            (0usize, 1usize),
+            (5, 64),
+            (63, 65),
+            (100, 1250),
+            (1240, 1250),
+        ] {
+            let covered = data.len().min(b1 * l) - b0 * l;
+            let mut part = vec![0f32; covered];
+            let touched = decode_blocks_into(&r, b0..b1, &mut hs, &mut scratch, &mut part).unwrap();
+            assert_eq!(part, full[b0 * l..b0 * l + covered], "blocks {b0}..{b1}");
+            assert!(touched <= r.stream_bytes() as usize);
+        }
+    }
+
+    #[test]
+    fn stream_bytes_invert_to_plain_serialization() {
+        for (n, eb) in [(777usize, 1e-2), (32_768, 1e-4), (100_001, 1e-3)] {
+            let data = wave(n);
+            let c = fast::compress(&data, eb, CuszpConfig::default());
+            let plain = c.to_bytes();
+            let bytes = frame(&data, eb, DEFAULT_CHUNK_BLOCKS, None);
+            let r = HybridRef::parse(&bytes).unwrap();
+            let mut back = Vec::new();
+            decode_stream_bytes(&r, &mut HybridScratch::new(), &mut back).unwrap();
+            assert_eq!(back, plain, "n = {n}, eb = {eb}");
+        }
+    }
+
+    #[test]
+    fn compress_serialized_honors_hybrid_flag() {
+        let data = wave(30_000);
+        let plain_codec = Cuszp::new();
+        let hybrid_codec = Cuszp::with_config(CuszpConfig {
+            hybrid: true,
+            ..Default::default()
+        });
+        let plain = plain_codec.compress_serialized(&data, ErrorBound::Rel(1e-4));
+        let hy = hybrid_codec.compress_serialized(&data, ErrorBound::Rel(1e-4));
+        assert!(plain.starts_with(b"CUSZP1"));
+        assert!(hy.len() <= plain.len(), "hybrid must never lose");
+        let a: Vec<f32> = plain_codec.decompress_serialized(&plain).unwrap();
+        let b: Vec<f32> = hybrid_codec.decompress_serialized(&hy).unwrap();
+        assert_eq!(a, b, "hybrid stage must be lossless");
+        // A hybrid codec decodes plain frames too (whole-frame fallback).
+        let c: Vec<f32> = hybrid_codec.decompress_serialized(&plain).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_frames() {
+        let data = wave(10_000);
+        let good = frame(&data, 1e-3, DEFAULT_CHUNK_BLOCKS, None);
+        assert!(HybridRef::parse(&good).is_ok());
+
+        // Truncated header.
+        assert_eq!(HybridRef::parse(&good[..10]), Err(FormatError::Truncated));
+        // Bad magic.
+        let mut b = good.clone();
+        b[0] = b'X';
+        assert_eq!(HybridRef::parse(&b), Err(FormatError::BadMagic));
+        // Bad lorenzo flag.
+        let mut b = good.clone();
+        b[8] = 7;
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("bad lorenzo flag"))
+        );
+        // Bad dtype.
+        let mut b = good.clone();
+        b[9] = 9;
+        assert_eq!(HybridRef::parse(&b), Err(FormatError::Corrupt("bad dtype")));
+        // Bad block length.
+        let mut b = good.clone();
+        b[18] = 7;
+        assert!(HybridRef::parse(&b).is_err());
+        // Bad bound.
+        let mut b = good.clone();
+        b[22..30].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("bad error bound"))
+        );
+        // Zero chunk size.
+        let mut b = good.clone();
+        b[30..34].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("bad chunk size"))
+        );
+        // Chunk count inconsistent with geometry.
+        let mut b = good.clone();
+        b[34..38].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("chunk count vs geometry"))
+        );
+        // Unknown mode byte.
+        let mut b = good.clone();
+        b[HYBRID_HEADER_BYTES] = 4;
+        assert_eq!(HybridRef::parse(&b), Err(FormatError::UnknownHybridMode(4)));
+        // Truncated payload.
+        assert_eq!(
+            HybridRef::parse(&good[..good.len() - 1]),
+            Err(FormatError::Truncated)
+        );
+        // Trailing payload bytes.
+        let mut b = good;
+        b.push(0);
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn corrupt_chunk_contents_yield_typed_errors() {
+        // Constant-mode chunk whose implied stream violates Eq 2: flip a
+        // passthrough chunk to "constant" so it decodes to repeated
+        // bytes that cannot satisfy the chunk's own accounting.
+        let data = wave(10_000);
+        let mut b = frame(&data, 1e-1, DEFAULT_CHUNK_BLOCKS, Some(Mode::Pass));
+        let e = HYBRID_HEADER_BYTES;
+        b[e] = Mode::Constant.to_byte();
+        let comp_len = u32::from_le_bytes(b[e + 1..e + 5].try_into().unwrap());
+        b[e + 1..e + 5].copy_from_slice(&1u32.to_le_bytes());
+        // Drop the now-surplus payload bytes of chunk 0.
+        let payload_at = {
+            let bytes = frame(&data, 1e-1, DEFAULT_CHUNK_BLOCKS, Some(Mode::Pass));
+            let r0 = HybridRef::parse(&bytes).unwrap();
+            HYBRID_HEADER_BYTES + r0.num_chunks() * TABLE_ENTRY_BYTES
+        };
+        b.drain(payload_at + 1..payload_at + comp_len as usize);
+        let r = HybridRef::parse(&b).expect("structurally fine");
+        let mut out = vec![0f32; data.len()];
+        let err = decode_into(&r, &mut HybridScratch::new(), &mut Scratch::new(), &mut out)
+            .expect_err("inconsistent chunk must not decode");
+        assert!(
+            matches!(err, FormatError::Corrupt(_) | FormatError::Entropy(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mode_histogram_reports_choices() {
+        // All-zero data quantizes to all-zero blocks: F = 0 everywhere,
+        // so every chunk's raw bytes are constant and flush to one byte.
+        let data = vec![0.0f32; 100_000];
+        let bytes = frame(&data, 1e-3, DEFAULT_CHUNK_BLOCKS, None);
+        let r = HybridRef::parse(&bytes).unwrap();
+        let h = r.mode_histogram();
+        assert_eq!(h.iter().sum::<usize>(), r.num_chunks());
+        assert!(
+            h[Mode::Constant.to_byte() as usize] > 0,
+            "all-zero blocks flush, got {h:?}"
+        );
+    }
+}

@@ -53,6 +53,7 @@ pub mod encode;
 pub mod fast;
 pub mod format;
 pub mod host_ref;
+pub mod hybrid;
 pub mod kernels;
 pub mod quantize;
 pub mod simd;
@@ -65,6 +66,7 @@ pub use config::{CuszpConfig, ErrorBound, SimdLevel, DEFAULT_BLOCK_LEN};
 pub use dtype::{DType, FloatData};
 pub use fast::Scratch;
 pub use format::{Compressed, CompressedRef, FormatError};
+pub use hybrid::{HybridRef, HybridScratch};
 pub use kernels::{
     compress_kernel, compressed_h2d, decompress_kernel, DeviceCompressed, STEP_BB, STEP_FE,
     STEP_GS, STEP_QP,
@@ -203,6 +205,55 @@ impl Cuszp {
     /// parallelism). Identical output for every thread count.
     pub fn decompress_threaded<T: FloatData>(&self, c: &Compressed, threads: usize) -> Vec<T> {
         fast::decompress_threaded_at(c, threads, self.config.simd)
+    }
+
+    /// Compress straight to serialized bytes, honoring
+    /// [`CuszpConfig::hybrid`]: with the flag off this is
+    /// [`Cuszp::compress`] + [`Compressed::to_bytes`] (a `CUSZP1`
+    /// stream); with it on, the lossless second stage ([`hybrid`]) is
+    /// applied and the `CUSZPHY1` frame is returned **when it is
+    /// smaller** — otherwise the plain stream is kept, so the hybrid
+    /// path never loses ratio to its own framing overhead. Decoders
+    /// distinguish the two by magic ([`Cuszp::decompress_serialized`]).
+    pub fn compress_serialized<T: FloatData>(&self, data: &[T], bound: ErrorBound) -> Vec<u8> {
+        let eb = self.resolve_bound(data, bound);
+        let c = fast::compress(data, eb, self.config);
+        let plain = c.to_bytes();
+        if self.config.hybrid {
+            let mut hs = HybridScratch::new();
+            let mut hy = Vec::new();
+            hybrid::encode(&c.as_ref(), hybrid::DEFAULT_CHUNK_BLOCKS, &mut hs, &mut hy);
+            if hy.len() < plain.len() {
+                return hy;
+            }
+        }
+        plain
+    }
+
+    /// Decompress serialized bytes produced by
+    /// [`Cuszp::compress_serialized`], sniffing the magic: `CUSZPHY1`
+    /// frames run the single-pass hybrid decode, anything else parses as
+    /// a plain `CUSZP1` stream. Works identically whichever
+    /// [`CuszpConfig::hybrid`] setting produced the bytes.
+    pub fn decompress_serialized<T: FloatData>(&self, bytes: &[u8]) -> Result<Vec<T>, FormatError> {
+        let mut scratch = Scratch::new();
+        if bytes.starts_with(&hybrid::HYBRID_MAGIC) {
+            let r = HybridRef::parse(bytes)?;
+            if r.dtype != T::DTYPE {
+                return Err(FormatError::Corrupt("stream element type mismatch"));
+            }
+            let mut out = vec![T::default(); r.num_elements as usize];
+            hybrid::decode_into(&r, &mut HybridScratch::new(), &mut scratch, &mut out)?;
+            Ok(out)
+        } else {
+            let r = CompressedRef::parse(bytes)?;
+            if r.dtype != T::DTYPE {
+                return Err(FormatError::Corrupt("stream element type mismatch"));
+            }
+            let mut out = vec![T::default(); r.num_elements as usize];
+            fast::decompress_into_at(r, &mut scratch, self.config.simd, &mut out);
+            Ok(out)
+        }
     }
 
     /// Compress `data` as a [`ChunkedCompressed`] container of

@@ -45,9 +45,12 @@ const CANDIDATES: [usize; 5] = [2048, 4096, 8192, 16384, 32768];
 const MIN_TILE: usize = 256;
 const MAX_TILE: usize = 1 << 20;
 
-/// The `CUSZP_TILE_ELEMS` override, read once per process. Unparseable
-/// values warn on stderr and fall back to probing; parseable ones are
-/// clamped into `[MIN_TILE, MAX_TILE]`.
+/// The `CUSZP_TILE_ELEMS` override, read once per process. **Any**
+/// invalid value — unparseable *or* outside `[MIN_TILE, MAX_TILE]` —
+/// warns on stderr once and falls back to the microbenchmark probe, so
+/// a typo'd override degrades to the detected tile rather than silently
+/// pinning a clamped size nobody asked for (SERVICE.md documents this
+/// knob's error behavior).
 fn env_override() -> Option<usize> {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
     *ENV.get_or_init(|| {
@@ -56,9 +59,19 @@ fn env_override() -> Option<usize> {
             return None;
         }
         match s.parse::<usize>() {
-            Ok(v) => Some(v.clamp(MIN_TILE, MAX_TILE)),
+            Ok(v) if (MIN_TILE..=MAX_TILE).contains(&v) => Some(v),
+            Ok(v) => {
+                eprintln!(
+                    "cuszp: ignoring CUSZP_TILE_ELEMS={v} (outside \
+                     [{MIN_TILE}, {MAX_TILE}]); autotuning instead"
+                );
+                None
+            }
             Err(_) => {
-                eprintln!("cuszp: ignoring CUSZP_TILE_ELEMS={s:?} (expected an element count)");
+                eprintln!(
+                    "cuszp: ignoring CUSZP_TILE_ELEMS={s:?} (expected an \
+                     element count); autotuning instead"
+                );
                 None
             }
         }

@@ -87,7 +87,7 @@ proptest! {
             s ^= s << 13; s ^= s >> 7; s ^= s << 17;
             ((s % 20_000) as f32 - 10_000.0) * 0.37
         }).collect();
-        assert_into_matches_owned(&data, eb, CuszpConfig { block_len, lorenzo, simd: None })?;
+        assert_into_matches_owned(&data, eb, CuszpConfig { block_len, lorenzo, ..CuszpConfig::default() })?;
     }
 
     #[test]

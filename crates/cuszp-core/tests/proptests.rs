@@ -27,7 +27,7 @@ fn config_strategy() -> impl Strategy<Value = CuszpConfig> {
         .prop_map(|(block_len, lorenzo)| CuszpConfig {
             block_len,
             lorenzo,
-            simd: None,
+            ..CuszpConfig::default()
         })
 }
 

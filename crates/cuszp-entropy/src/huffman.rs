@@ -1,0 +1,365 @@
+//! Canonical, length-limited Huffman coding over bytes.
+//!
+//! The chunk layout is a 128-byte packed-nibble code-length table (one
+//! 4-bit length per symbol, low nibble = even symbol) followed by the
+//! MSB-first bitstream. Lengths are capped at
+//! [`HUFFMAN_MAX_CODE_LEN`] = 12 bits so the decoder is a single lookup
+//! into a 4096-entry table — the table-driven decode the hybrid frame's
+//! throughput numbers depend on. Codes are *canonical*: the lengths fully
+//! determine the codebook (assigned in `(length, symbol)` order), so the
+//! table is the entire header and encoder and decoder can never disagree
+//! on code values.
+//!
+//! The builder is the classic two-queue merge over frequency-sorted
+//! leaves (linear after the sort), followed by a Kraft-sum repair that
+//! deepens the longest under-limit code until the capped lengths are
+//! prefix-decodable again. Everything runs in fixed-size stack arrays —
+//! no allocation, no recursion.
+
+use crate::EntropyError;
+
+/// Size of the packed-nibble code-length table that heads every chunk.
+pub const HUFFMAN_TABLE_BYTES: usize = 128;
+
+/// Maximum code length in bits; also the decode-table index width.
+pub const HUFFMAN_MAX_CODE_LEN: u32 = 12;
+
+const LIMIT: u8 = HUFFMAN_MAX_CODE_LEN as u8;
+const TABLE_SIZE: usize = 1 << HUFFMAN_MAX_CODE_LEN;
+
+/// Append the coded form of `raw` (table + bitstream) to `out` **iff** it
+/// is strictly smaller than `raw`; returns whether it was appended. The
+/// exact coded size is known from the code lengths before any byte is
+/// written, so a losing encode costs the histogram pass only.
+pub(crate) fn encode(raw: &[u8], out: &mut Vec<u8>) -> bool {
+    debug_assert!(!raw.is_empty());
+    let mut freq = [0u32; 256];
+    for &b in raw {
+        freq[b as usize] += 1;
+    }
+    let mut lens = [0u8; 256];
+    build_lengths(&freq, &mut lens);
+
+    let total_bits: u64 = freq
+        .iter()
+        .zip(lens.iter())
+        .map(|(&f, &l)| u64::from(f) * u64::from(l))
+        .sum();
+    let coded = HUFFMAN_TABLE_BYTES as u64 + total_bits.div_ceil(8);
+    if coded >= raw.len() as u64 {
+        return false;
+    }
+
+    out.reserve(coded as usize);
+    for i in 0..HUFFMAN_TABLE_BYTES {
+        out.push(lens[2 * i] | (lens[2 * i + 1] << 4));
+    }
+    let codes = assign_codes(&lens);
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &b in raw {
+        acc = (acc << lens[b as usize]) | u64::from(codes[b as usize]);
+        nbits += u32::from(lens[b as usize]);
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        out.push((acc << (8 - nbits)) as u8);
+    }
+    true
+}
+
+/// Decode a chunk produced by [`encode`] into `out` (whose length is the
+/// chunk's recorded raw length). Every malformation — truncated table,
+/// over-limit or Kraft-overfull lengths, a bit pattern matching no code,
+/// a bitstream that ends early or carries unused bytes or non-zero
+/// padding — is a typed [`EntropyError`].
+pub(crate) fn decode(comp: &[u8], out: &mut [u8]) -> Result<(), EntropyError> {
+    if comp.len() < HUFFMAN_TABLE_BYTES {
+        return Err(EntropyError("huffman table truncated"));
+    }
+    let mut lens = [0u8; 256];
+    for (i, &b) in comp[..HUFFMAN_TABLE_BYTES].iter().enumerate() {
+        lens[2 * i] = b & 0x0F;
+        lens[2 * i + 1] = b >> 4;
+    }
+    let mut kraft: u64 = 0;
+    let mut nonzero = 0u32;
+    for &l in &lens {
+        if l > LIMIT {
+            return Err(EntropyError("huffman code length exceeds limit"));
+        }
+        if l > 0 {
+            kraft += 1u64 << (LIMIT - l);
+            nonzero += 1;
+        }
+    }
+    let bits = &comp[HUFFMAN_TABLE_BYTES..];
+    if out.is_empty() {
+        return if bits.is_empty() {
+            Ok(())
+        } else {
+            Err(EntropyError("huffman trailing bytes"))
+        };
+    }
+    if nonzero == 0 {
+        return Err(EntropyError("huffman table empty"));
+    }
+    if kraft > 1u64 << LIMIT {
+        return Err(EntropyError("huffman table overfull"));
+    }
+
+    // Flat decode table: every 12-bit prefix maps to (symbol, length);
+    // length 0 marks a gap no valid stream can hit.
+    let codes = assign_codes(&lens);
+    let mut sym_tab = [0u8; TABLE_SIZE];
+    let mut len_tab = [0u8; TABLE_SIZE];
+    for s in 0..256 {
+        let l = lens[s];
+        if l == 0 {
+            continue;
+        }
+        let span = 1usize << (LIMIT - l);
+        let base = (codes[s] as usize) << (LIMIT - l);
+        // Kraft ≤ 1 guarantees canonical codes fit; belt and suspenders.
+        if base + span > TABLE_SIZE {
+            return Err(EntropyError("huffman table overfull"));
+        }
+        for e in &mut sym_tab[base..base + span] {
+            *e = s as u8;
+        }
+        for e in &mut len_tab[base..base + span] {
+            *e = l;
+        }
+    }
+
+    let mut acc: u64 = 0;
+    let mut have: u32 = 0;
+    let mut next = 0usize;
+    for slot in out.iter_mut() {
+        while have < HUFFMAN_MAX_CODE_LEN && next < bits.len() {
+            acc = (acc << 8) | u64::from(bits[next]);
+            next += 1;
+            have += 8;
+        }
+        let peek = if have >= HUFFMAN_MAX_CODE_LEN {
+            (acc >> (have - HUFFMAN_MAX_CODE_LEN)) as usize & (TABLE_SIZE - 1)
+        } else {
+            (acc << (HUFFMAN_MAX_CODE_LEN - have)) as usize & (TABLE_SIZE - 1)
+        };
+        let l = u32::from(len_tab[peek]);
+        if l == 0 {
+            return Err(EntropyError("invalid huffman code"));
+        }
+        if l > have {
+            return Err(EntropyError("huffman bitstream truncated"));
+        }
+        have -= l;
+        *slot = sym_tab[peek];
+    }
+    // All bytes must be consumed (modulo final-byte padding, which must
+    // be zero as the encoder writes it).
+    if next != bits.len() || have >= 8 {
+        return Err(EntropyError("huffman trailing bytes"));
+    }
+    if have > 0 && acc & ((1u64 << have) - 1) != 0 {
+        return Err(EntropyError("huffman padding not zero"));
+    }
+    Ok(())
+}
+
+/// Optimal code lengths for `freq`, then capped to [`LIMIT`] with a
+/// Kraft-sum repair. Zero-frequency symbols get length 0.
+fn build_lengths(freq: &[u32; 256], lens: &mut [u8; 256]) {
+    let mut leaves = [(0u32, 0u16); 256];
+    let mut n = 0usize;
+    for (s, &f) in freq.iter().enumerate() {
+        if f > 0 {
+            leaves[n] = (f, s as u16);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        lens[leaves[0].1 as usize] = 1;
+        return;
+    }
+    leaves[..n].sort_unstable();
+
+    // Two-queue merge: leaves ascending in 0..n, internal nodes appended
+    // in creation (hence weight) order — both queues stay sorted, so the
+    // two global minima are always at one of the two fronts.
+    let total = 2 * n - 1;
+    let mut weight = [0u64; 511];
+    let mut parent = [0u16; 511];
+    for (i, &(f, _)) in leaves[..n].iter().enumerate() {
+        weight[i] = u64::from(f);
+    }
+    let mut leaf = 0usize;
+    let mut node = n;
+    for next in n..total {
+        let mut take = |next: usize| {
+            if leaf < n && (node >= next || weight[leaf] <= weight[node]) {
+                leaf += 1;
+                leaf - 1
+            } else {
+                node += 1;
+                node - 1
+            }
+        };
+        let a = take(next);
+        let b = take(next);
+        weight[next] = weight[a] + weight[b];
+        parent[a] = next as u16;
+        parent[b] = next as u16;
+    }
+    // Children precede parents, so one reverse sweep yields all depths.
+    let mut depth = [0u8; 511];
+    for i in (0..total - 1).rev() {
+        depth[i] = depth[parent[i] as usize] + 1;
+    }
+    for (i, &(_, s)) in leaves[..n].iter().enumerate() {
+        lens[s as usize] = depth[i].min(LIMIT);
+    }
+
+    // Capping can overfill the Kraft sum; deepen the longest under-limit
+    // code until Σ 2^(LIMIT−len) ≤ 2^LIMIT again. Each step frees
+    // 2^(LIMIT−l−1), and while overfull some code sits below the limit,
+    // so this terminates with prefix-decodable lengths.
+    let mut kraft: u64 = lens
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 1u64 << (LIMIT - l))
+        .sum();
+    while kraft > 1u64 << LIMIT {
+        let mut pick = (0u8, 0usize);
+        for (s, &l) in lens.iter().enumerate() {
+            if l > pick.0 && l < LIMIT {
+                pick = (l, s);
+            }
+        }
+        debug_assert!(pick.0 > 0, "overfull Kraft sum with all codes at limit");
+        lens[pick.1] += 1;
+        kraft -= 1u64 << (LIMIT - pick.0 - 1);
+    }
+}
+
+/// Canonical code values from lengths: codes are assigned in `(length,
+/// symbol)` order, the shortest length starting at 0.
+fn assign_codes(lens: &[u8; 256]) -> [u16; 256] {
+    let mut bl_count = [0u32; LIMIT as usize + 1];
+    for &l in lens {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next = [0u32; LIMIT as usize + 1];
+    let mut code = 0u32;
+    for l in 1..=LIMIT as usize {
+        code = (code + bl_count[l - 1]) << 1;
+        next[l] = code;
+    }
+    let mut codes = [0u16; 256];
+    for (s, &l) in lens.iter().enumerate() {
+        if l > 0 {
+            codes[s] = next[l as usize] as u16;
+            next[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(raw: &[u8]) -> Option<Vec<u8>> {
+        let mut comp = Vec::new();
+        if !encode(raw, &mut comp) {
+            return None;
+        }
+        assert!(comp.len() < raw.len());
+        let mut back = vec![0u8; raw.len()];
+        decode(&comp, &mut back).unwrap();
+        assert_eq!(back, raw);
+        Some(comp)
+    }
+
+    #[test]
+    fn skewed_bytes_compress_and_roundtrip() {
+        let raw: Vec<u8> = (0..4096u32).map(|i| (i % 7).pow(2) as u8).collect();
+        let comp = roundtrip(&raw).expect("skewed data must compress");
+        assert!(comp.len() < raw.len() / 2);
+    }
+
+    #[test]
+    fn single_symbol_stream_roundtrips() {
+        let raw = vec![200u8; 3000];
+        roundtrip(&raw).expect("one-symbol data compresses to ~n/8");
+    }
+
+    #[test]
+    fn uniform_bytes_refuse_to_encode() {
+        let raw: Vec<u8> = (0..2048u32)
+            .map(|i| (i.wrapping_mul(2654435761)) as u8)
+            .collect();
+        let mut comp = Vec::new();
+        assert!(!encode(&raw, &mut comp), "8-bit-entropy data cannot win");
+        assert!(comp.is_empty(), "a refused encode must append nothing");
+    }
+
+    #[test]
+    fn lengths_never_exceed_limit() {
+        // An exponential histogram drives unlimited Huffman depths far
+        // past 12; the repair must cap every length and keep Kraft ≤ 1.
+        let mut freq = [0u32; 256];
+        let mut f = 1u32;
+        for slot in freq.iter_mut().take(30) {
+            *slot = f;
+            f = f.saturating_mul(2);
+        }
+        let mut lens = [0u8; 256];
+        build_lengths(&freq, &mut lens);
+        let mut kraft = 0u64;
+        for &l in &lens {
+            assert!(l <= LIMIT);
+            if l > 0 {
+                kraft += 1 << (LIMIT - l);
+            }
+        }
+        assert!(kraft <= 1 << LIMIT, "repaired lengths must satisfy Kraft");
+        // And a stream drawn from that distribution still round trips.
+        let mut raw = Vec::new();
+        for s in 0..30u8 {
+            raw.extend(std::iter::repeat_n(s, (s as usize + 1) * 3));
+        }
+        roundtrip(&raw);
+    }
+
+    #[test]
+    fn empty_bitstream_rules() {
+        let table = vec![0u8; HUFFMAN_TABLE_BYTES];
+        let mut none: [u8; 0] = [];
+        decode(&table, &mut none).unwrap();
+        let mut one = [0u8; 1];
+        assert_eq!(
+            decode(&table, &mut one),
+            Err(EntropyError("huffman table empty"))
+        );
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        let raw: Vec<u8> = (0..600u32).map(|i| (i % 5) as u8).collect();
+        let mut comp = Vec::new();
+        assert!(encode(&raw, &mut comp));
+        let last = comp.len() - 1;
+        comp[last] |= 1; // encode pads the final byte with zero bits
+        let mut back = vec![0u8; raw.len()];
+        assert!(decode(&comp, &mut back).is_err());
+    }
+}

@@ -1,0 +1,523 @@
+//! Lossless second-stage coders for the hybrid cuSZp pipeline.
+//!
+//! cuSZp's fixed-length encoding trades ratio for speed: every value in a
+//! block spends exactly `F` bits even when the bit-shuffled planes are
+//! almost entirely runs of one byte. Following the synergistic
+//! lossy–lossless orchestration line of work (and FZ-GPU's
+//! bitshuffle-then-dictionary pipeline), this crate supplies the lossless
+//! stage that runs *after* the error-bounded quantization — so it can
+//! never affect the error bound — together with the estimator that
+//! decides, per chunk, whether the stage pays for itself:
+//!
+//! - [`Mode::Pass`] — store the fixed-length bytes unchanged (cuSZp's
+//!   native representation; always available, never loses).
+//! - [`Mode::Constant`] — SZx-style constant-block flush: a chunk whose
+//!   bytes are all equal stores one byte.
+//! - [`Mode::Rle`] — PackBits run-length coding, cheap and effective on
+//!   the long zero runs bit-shuffling produces at tight bounds.
+//! - [`Mode::Huffman`] — canonical, length-limited Huffman with a
+//!   table-driven decoder, for chunks with skewed but non-degenerate
+//!   byte histograms.
+//!
+//! [`select_mode`] samples a few windows of the chunk instead of scanning
+//! it; [`encode_chunk`] *verifies* the choice by size and falls back to
+//! [`Mode::Pass`] whenever the coded form would not be strictly smaller,
+//! so a stored chunk is never larger than its raw bytes regardless of
+//! estimator quality.
+//!
+//! Everything here works on plain byte slices, uses fixed-size stack
+//! tables only, and allocates nothing beyond the caller's output `Vec` —
+//! the properties the store's zero-steady-state-allocation reads and the
+//! service's warm buffers rely on.
+
+#![deny(missing_docs)]
+
+mod huffman;
+mod rle;
+
+pub use huffman::{HUFFMAN_MAX_CODE_LEN, HUFFMAN_TABLE_BYTES};
+
+/// Per-chunk coding mode, stored as one byte in the `CUSZPHY1` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Raw bytes stored unchanged (`comp_len == raw_len`).
+    Pass,
+    /// All bytes equal; one stored byte repeated `raw_len` times.
+    Constant,
+    /// PackBits run-length coding.
+    Rle,
+    /// Canonical length-limited Huffman coding.
+    Huffman,
+}
+
+impl Mode {
+    /// Every mode, in mode-byte order.
+    pub const ALL: [Mode; 4] = [Mode::Pass, Mode::Constant, Mode::Rle, Mode::Huffman];
+
+    /// The wire byte identifying this mode.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Mode::Pass => 0,
+            Mode::Constant => 1,
+            Mode::Rle => 2,
+            Mode::Huffman => 3,
+        }
+    }
+
+    /// Parse a wire mode byte.
+    pub fn from_byte(b: u8) -> Option<Mode> {
+        match b {
+            0 => Some(Mode::Pass),
+            1 => Some(Mode::Constant),
+            2 => Some(Mode::Rle),
+            3 => Some(Mode::Huffman),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase name (used in benchmark tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Pass => "pass",
+            Mode::Constant => "constant",
+            Mode::Rle => "rle",
+            Mode::Huffman => "huffman",
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A chunk failed to decode: the compressed bytes are inconsistent with
+/// the recorded mode or raw length. Carries a static description of the
+/// first violated invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntropyError(pub &'static str);
+
+impl std::fmt::Display for EntropyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "entropy chunk corrupt: {}", self.0)
+    }
+}
+
+impl std::error::Error for EntropyError {}
+
+/// Bytes sampled per estimator window; four windows are spread across
+/// the chunk, so at most 256 bytes are inspected however large it is.
+const SAMPLE_WINDOW: usize = 64;
+
+/// Fixed per-chunk overhead of a Huffman chunk (its code-length table
+/// plus slack for the final partial byte) the estimator charges.
+const HUFFMAN_OVERHEAD: f64 = (HUFFMAN_TABLE_BYTES + 2) as f64;
+
+/// Pick a coding mode for `raw` by sampling, not scanning.
+///
+/// Constant detection probes a handful of spread positions and only pays
+/// for a full scan when all probes match. The RLE and Huffman estimates
+/// come from four 64-byte windows: the adjacent-repeat fraction stands in
+/// for run coverage, and the sampled byte histogram's entropy `H` bounds
+/// the Huffman bitstream at `n·H/8` bits plus the table overhead.
+///
+/// The estimate errs toward [`Mode::Pass`]: a coded mode is chosen only
+/// when its estimated size undercuts the raw size by more than 1/16 —
+/// mispredicting *toward* Pass costs a little ratio, while mispredicting
+/// away from it costs encode time **and** gets reverted by
+/// [`encode_chunk`]'s size check anyway.
+pub fn select_mode(raw: &[u8]) -> Mode {
+    let n = raw.len();
+    if n < 2 {
+        return Mode::Pass;
+    }
+    if probe_constant(raw) {
+        return Mode::Constant;
+    }
+
+    // All windows sit at interior positions. The chunk's head (the
+    // fixed-length array, one near-constant byte per block) is a tiny,
+    // systematically atypical slice — an endpoint window anchored there
+    // drags the sampled entropy far below the payload's and mispredicts
+    // Huffman on incompressible data.
+    //
+    // Tier 1: two windows at 1/4 and 3/4, tracked with a 256-bit
+    // presence bitmap (32 bytes of state). On dense data — most chunks
+    // of a field that doesn't compress — the distinct count alone rules
+    // every coded mode out and the estimator exits here. The Pass path
+    // must stay within a few percent of a plain copy, so this tier never
+    // touches the 1 KiB histogram: zeroing it per chunk is already
+    // measurable against a cache-hot memcpy.
+    if n > 4 * SAMPLE_WINDOW {
+        let mut seen = [0u64; 4];
+        let mut distinct = 0u32;
+        let mut pairs = 0u32;
+        let mut repeats = 0u32;
+        for w in [1usize, 3] {
+            let start = w * (n - SAMPLE_WINDOW) / 4;
+            let win = &raw[start..start + SAMPLE_WINDOW];
+            for (k, &b) in win.iter().enumerate() {
+                let slot = &mut seen[(b >> 6) as usize];
+                let bit = 1u64 << (b & 63);
+                distinct += u32::from(*slot & bit == 0);
+                *slot |= bit;
+                if k > 0 {
+                    pairs += 1;
+                    repeats += u32::from(b == win[k - 1]);
+                }
+            }
+        }
+        // ≥ ~69% distinct sampled bytes: even an ideal byte code cannot
+        // clear the 1/16 Pass margin, and runs are absent.
+        let samples = 2 * SAMPLE_WINDOW as u32;
+        if distinct * 16 >= samples * 11 && repeats * 8 < pairs {
+            return Mode::Pass;
+        }
+    }
+
+    // Tier 2: the chunk looks codable (or is small enough to sample
+    // whole), so the full histogram pays for itself. Re-walk the tier-1
+    // windows and add two more at 1/8 and 7/8 before the entropy
+    // estimate below.
+    let mut hist = [0u32; 256];
+    let mut distinct = 0u32;
+    let mut pairs = 0u32;
+    let mut repeats = 0u32;
+    let mut samples = 0u32;
+    if n <= 4 * SAMPLE_WINDOW {
+        sample_window(
+            raw,
+            &mut hist,
+            &mut distinct,
+            &mut pairs,
+            &mut repeats,
+            &mut samples,
+        );
+    } else {
+        for (w, d) in [(1usize, 4usize), (3, 4), (1, 8), (7, 8)] {
+            let start = w * (n - SAMPLE_WINDOW) / d;
+            sample_window(
+                &raw[start..start + SAMPLE_WINDOW],
+                &mut hist,
+                &mut distinct,
+                &mut pairs,
+                &mut repeats,
+                &mut samples,
+            );
+        }
+    }
+
+    let n_f = n as f64;
+    let rho = if pairs == 0 {
+        0.0
+    } else {
+        f64::from(repeats) / f64::from(pairs)
+    };
+    // Literal bytes cost ~1 byte each; run bytes amortize to well under
+    // one (2 stored bytes per run). 0.3 models short-ish runs.
+    let est_rle = n_f * (1.0 - rho) + n_f * rho * 0.3 + 2.0;
+    let mut entropy_bits = 0.0;
+    for &c in &hist {
+        if c > 0 {
+            let p = f64::from(c) / f64::from(samples);
+            entropy_bits -= p * p.log2();
+        }
+    }
+    // Miller–Madow bias correction: a plug-in estimate from few samples
+    // over many occupied bins systematically *under*states the entropy
+    // (uniform noise would otherwise look compressible).
+    entropy_bits += f64::from(distinct - 1) / (2.0 * f64::from(samples) * std::f64::consts::LN_2);
+    let est_huffman = n_f * entropy_bits.min(8.0) / 8.0 + HUFFMAN_OVERHEAD;
+
+    let margin = n_f / 16.0;
+    let best = est_rle.min(est_huffman);
+    if best + margin >= n_f {
+        Mode::Pass
+    } else if est_rle <= est_huffman {
+        Mode::Rle
+    } else {
+        Mode::Huffman
+    }
+}
+
+/// Cheap constant test: probe eight spread positions, full scan only if
+/// every probe equals the first byte.
+fn probe_constant(raw: &[u8]) -> bool {
+    let n = raw.len();
+    let b = raw[0];
+    for k in 1..8 {
+        if raw[k * (n - 1) / 7] != b {
+            return false;
+        }
+    }
+    raw.iter().all(|&x| x == b)
+}
+
+fn sample_window(
+    win: &[u8],
+    hist: &mut [u32; 256],
+    distinct: &mut u32,
+    pairs: &mut u32,
+    repeats: &mut u32,
+    samples: &mut u32,
+) {
+    for (k, &b) in win.iter().enumerate() {
+        if hist[b as usize] == 0 {
+            *distinct += 1;
+        }
+        hist[b as usize] += 1;
+        *samples += 1;
+        if k > 0 {
+            *pairs += 1;
+            if b == win[k - 1] {
+                *repeats += 1;
+            }
+        }
+    }
+}
+
+/// Encode `raw` under `mode`, appending the coded bytes to `out`.
+///
+/// Returns the mode **actually** used: whenever the requested mode would
+/// not produce strictly fewer bytes than `raw` (or its precondition does
+/// not hold — a non-constant chunk requested as [`Mode::Constant`]), the
+/// chunk falls back to [`Mode::Pass`] and the raw bytes are appended
+/// instead. The returned mode is what belongs in the `CUSZPHY1` table,
+/// and the appended length never exceeds `raw.len()`.
+pub fn encode_chunk(mode: Mode, raw: &[u8], out: &mut Vec<u8>) -> Mode {
+    if raw.is_empty() {
+        return Mode::Pass;
+    }
+    let mark = out.len();
+    match mode {
+        Mode::Pass => {}
+        Mode::Constant => {
+            if raw.iter().all(|&b| b == raw[0]) {
+                out.push(raw[0]);
+                return Mode::Constant;
+            }
+        }
+        Mode::Rle => {
+            rle::encode(raw, out);
+            if out.len() - mark < raw.len() {
+                return Mode::Rle;
+            }
+            out.truncate(mark);
+        }
+        Mode::Huffman => {
+            if huffman::encode(raw, out) {
+                return Mode::Huffman;
+            }
+        }
+    }
+    out.extend_from_slice(raw);
+    Mode::Pass
+}
+
+/// Decode a chunk coded by [`encode_chunk`] into `out`, whose length must
+/// be the chunk's recorded raw length.
+///
+/// Every inconsistency between `mode`, `comp`, and `out.len()` is a typed
+/// [`EntropyError`]; no input panics. On error the contents of `out` are
+/// unspecified (the caller re-validates or discards them).
+pub fn decode_chunk(mode: Mode, comp: &[u8], out: &mut [u8]) -> Result<(), EntropyError> {
+    match mode {
+        Mode::Pass => {
+            if comp.len() != out.len() {
+                return Err(EntropyError("pass chunk length mismatch"));
+            }
+            out.copy_from_slice(comp);
+            Ok(())
+        }
+        Mode::Constant => {
+            if comp.len() != 1 {
+                return Err(EntropyError("constant chunk must store exactly one byte"));
+            }
+            out.fill(comp[0]);
+            Ok(())
+        }
+        Mode::Rle => rle::decode(comp, out),
+        Mode::Huffman => huffman::decode(comp, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift bytes (the crate has no dependencies).
+    fn noise(len: usize, mut seed: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                (seed >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn skewed(len: usize, seed: u64) -> Vec<u8> {
+        // Mostly zeros with occasional small values: the shape tight
+        // error bounds produce after bit-shuffling.
+        noise(len, seed)
+            .into_iter()
+            .map(|b| if b < 200 { 0 } else { b & 0x07 })
+            .collect()
+    }
+
+    fn roundtrip(mode: Mode, raw: &[u8]) -> Mode {
+        let mut comp = Vec::new();
+        let used = encode_chunk(mode, raw, &mut comp);
+        assert!(comp.len() <= raw.len().max(1), "chunk expanded");
+        let mut back = vec![0xA5u8; raw.len()];
+        decode_chunk(used, &comp, &mut back).unwrap();
+        assert_eq!(back, raw, "mode {used} round trip");
+        used
+    }
+
+    #[test]
+    fn every_mode_roundtrips_on_every_shape() {
+        let shapes: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![42],
+            vec![7; 1000],
+            noise(1000, 99),
+            skewed(5000, 3),
+            (0..=255).collect(),
+            noise(3, 1),
+        ];
+        for raw in &shapes {
+            for mode in Mode::ALL {
+                roundtrip(mode, raw);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_chunks_flush_to_one_byte() {
+        let raw = vec![9u8; 4096];
+        let mut comp = Vec::new();
+        assert_eq!(
+            encode_chunk(Mode::Constant, &raw, &mut comp),
+            Mode::Constant
+        );
+        assert_eq!(comp, vec![9]);
+    }
+
+    #[test]
+    fn misdeclared_constant_falls_back_to_pass() {
+        let mut raw = vec![9u8; 100];
+        raw[50] = 1;
+        let mut comp = Vec::new();
+        assert_eq!(encode_chunk(Mode::Constant, &raw, &mut comp), Mode::Pass);
+        assert_eq!(comp, raw);
+    }
+
+    #[test]
+    fn incompressible_chunks_fall_back_to_pass() {
+        let raw = noise(300, 5);
+        for mode in [Mode::Rle, Mode::Huffman] {
+            let mut comp = Vec::new();
+            assert_eq!(encode_chunk(mode, &raw, &mut comp), Mode::Pass);
+            assert_eq!(comp, raw, "fallback must store the raw bytes");
+        }
+    }
+
+    #[test]
+    fn estimator_picks_sensible_modes() {
+        assert_eq!(select_mode(&[]), Mode::Pass);
+        assert_eq!(select_mode(&vec![3u8; 10_000]), Mode::Constant);
+        assert_eq!(select_mode(&noise(10_000, 17)), Mode::Pass);
+        // Skewed-but-varied bytes should pick a coded mode, and the coded
+        // mode must actually win.
+        let raw = skewed(10_000, 11);
+        let mode = select_mode(&raw);
+        assert_ne!(mode, Mode::Pass, "skewed data should compress");
+        let mut comp = Vec::new();
+        assert_eq!(encode_chunk(mode, &raw, &mut comp), mode);
+        assert!(comp.len() < raw.len());
+    }
+
+    #[test]
+    fn adaptive_never_beats_pass_by_size() {
+        // Whatever the estimator says, the stored bytes never exceed raw.
+        for seed in 0..20 {
+            let raw = if seed % 2 == 0 {
+                noise(777, seed)
+            } else {
+                skewed(777, seed)
+            };
+            let mode = select_mode(&raw);
+            let mut comp = Vec::new();
+            encode_chunk(mode, &raw, &mut comp);
+            assert!(comp.len() <= raw.len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_lengths() {
+        let mut out = vec![0u8; 10];
+        assert!(decode_chunk(Mode::Pass, &[1, 2, 3], &mut out).is_err());
+        assert!(decode_chunk(Mode::Constant, &[1, 2], &mut out).is_err());
+        assert!(decode_chunk(Mode::Constant, &[], &mut out).is_err());
+    }
+
+    #[test]
+    fn rle_corruption_is_typed() {
+        let raw = vec![5u8; 64];
+        let mut comp = Vec::new();
+        assert_eq!(encode_chunk(Mode::Rle, &raw, &mut comp), Mode::Rle);
+        let mut out = vec![0u8; 64];
+        // Reserved control byte.
+        assert_eq!(
+            decode_chunk(Mode::Rle, &[128], &mut out),
+            Err(EntropyError("rle reserved control byte"))
+        );
+        // Truncated repeat run (control byte with no payload byte).
+        assert!(decode_chunk(Mode::Rle, &[200], &mut out).is_err());
+        // Truncated literal run.
+        assert!(decode_chunk(Mode::Rle, &[10, 1, 2], &mut out).is_err());
+        // Output overflow: declared runs overshoot the raw length.
+        let mut tiny = vec![0u8; 3];
+        assert!(decode_chunk(Mode::Rle, &comp, &mut tiny).is_err());
+        // Underflow: runs end before the raw length is reached.
+        let mut long = vec![0u8; 65];
+        assert!(decode_chunk(Mode::Rle, &comp, &mut long).is_err());
+    }
+
+    #[test]
+    fn huffman_corruption_is_typed() {
+        let raw = skewed(2000, 7);
+        let mut comp = Vec::new();
+        assert_eq!(encode_chunk(Mode::Huffman, &raw, &mut comp), Mode::Huffman);
+        let mut out = vec![0u8; raw.len()];
+        // Table truncated below 128 bytes.
+        assert!(decode_chunk(Mode::Huffman, &comp[..100], &mut out).is_err());
+        // Bitstream truncated.
+        assert!(decode_chunk(Mode::Huffman, &comp[..comp.len() - 1], &mut out).is_err());
+        // Trailing bytes.
+        let mut long = comp.clone();
+        long.push(0);
+        assert!(decode_chunk(Mode::Huffman, &long, &mut out).is_err());
+        // Overfull code-length table (all-one nibbles → Kraft > 1).
+        let mut bad = comp.clone();
+        for b in bad.iter_mut().take(HUFFMAN_TABLE_BYTES) {
+            *b = 0x11;
+        }
+        assert!(decode_chunk(Mode::Huffman, &bad, &mut out).is_err());
+        // An empty table cannot decode a non-empty chunk.
+        let empty_table = vec![0u8; HUFFMAN_TABLE_BYTES];
+        assert!(decode_chunk(Mode::Huffman, &empty_table, &mut out).is_err());
+    }
+
+    #[test]
+    fn mode_bytes_roundtrip_and_reject_unknown() {
+        for m in Mode::ALL {
+            assert_eq!(Mode::from_byte(m.to_byte()), Some(m));
+        }
+        assert_eq!(Mode::from_byte(4), None);
+        assert_eq!(Mode::from_byte(255), None);
+    }
+}

@@ -78,16 +78,26 @@ impl Client {
         };
         let cap = effective as usize;
         let elems = cap / tenant.dtype.size();
-        let stream_cap = match tenant.dtype {
-            cuszp_core::DType::F32 => {
-                cuszp_core::fast::max_stream_bytes::<f32>(elems, cuszp_core::CuszpConfig::default())
-            }
-            cuszp_core::DType::F64 => {
-                cuszp_core::fast::max_stream_bytes::<f64>(elems, cuszp_core::CuszpConfig::default())
-            }
+        let cfg = cuszp_core::CuszpConfig::default();
+        let chunk = cuszp_core::hybrid::DEFAULT_CHUNK_BLOCKS;
+        // Hybrid tenants may receive raw CUSZPHY1 frames, whose
+        // worst-case (chunk-table overhead) can exceed the container's.
+        let (stream_cap, frame_cap) = match tenant.dtype {
+            cuszp_core::DType::F32 => (
+                cuszp_core::fast::max_stream_bytes::<f32>(elems, cfg),
+                cuszp_core::hybrid::max_frame_bytes::<f32>(elems, cfg, chunk),
+            ),
+            cuszp_core::DType::F64 => (
+                cuszp_core::fast::max_stream_bytes::<f64>(elems, cfg),
+                cuszp_core::hybrid::max_frame_bytes::<f64>(elems, cfg, chunk),
+            ),
         };
+        let mut resp_cap = single_chunk_container_len(stream_cap).max(cap);
+        if tenant.hybrid {
+            resp_cap = resp_cap.max(frame_cap);
+        }
         let wire = Vec::with_capacity(cap);
-        let resp = Vec::with_capacity(single_chunk_container_len(stream_cap).max(cap));
+        let resp = Vec::with_capacity(resp_cap);
         Ok(Client {
             stream,
             tenant,
@@ -165,8 +175,10 @@ impl Client {
     }
 
     /// Compress `data` under the tenant's bound; returns the single-chunk
-    /// `CUSZPCH1` container, borrowed from the client's reused response
-    /// buffer (copy it out to keep it past the next request).
+    /// `CUSZPCH1` container — or, for hybrid tenants whose entropy stage
+    /// won, a raw `CUSZPHY1` frame — borrowed from the client's reused
+    /// response buffer (copy it out to keep it past the next request).
+    /// Either payload is accepted back by [`Client::decompress_f32`].
     pub fn compress_f32(&mut self, data: &[f32]) -> Result<&[u8], ServiceError> {
         self.compress_impl(data)
     }
@@ -176,7 +188,8 @@ impl Client {
         self.compress_impl(data)
     }
 
-    /// Decompress a `CUSZPCH1` container into `out` (cleared first).
+    /// Decompress a `CUSZPCH1` container (or, on hybrid connections, a
+    /// `CUSZPHY1` frame) into `out` (cleared first).
     pub fn decompress_f32(
         &mut self,
         container: &[u8],

@@ -5,7 +5,11 @@
 //! handshake, then stream compress/decompress requests as
 //! length-prefixed frames. Responses carry single-chunk `CUSZPCH1`
 //! containers, so anything the service emits is directly consumable by
-//! [`cuszp_core::chunk_ref_iter`] or storable on disk.
+//! [`cuszp_core::chunk_ref_iter`] or storable on disk. Tenants that set
+//! the hello's hybrid flag ([`protocol::HELLO_FLAG_HYBRID`]) opt into
+//! the `CUSZPHY1` entropy second stage: compress responses become raw
+//! hybrid frames whenever the stage wins, and decompress requests may
+//! carry either format.
 //!
 //! The design goals, in order:
 //!
@@ -41,6 +45,7 @@
 //!     dtype: DType::F32,
 //!     bound: ErrorBound::Abs(1e-2),
 //!     max_payload: 1 << 20,
+//!     hybrid: false,
 //! };
 //! let mut client = Client::connect(server.addr(), tenant).unwrap();
 //! let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.02).sin()).collect();
@@ -60,6 +65,7 @@ pub use client::{Client, ServiceError};
 pub use protocol::Tenant;
 
 use cuszp_core::fast;
+use cuszp_core::hybrid::{self, HybridScratch, DEFAULT_CHUNK_BLOCKS, HYBRID_MAGIC};
 use cuszp_core::{chunk_ref_iter, CuszpConfig, DType, ErrorBound, FloatData, Scratch};
 use cuszp_pipeline::{ServiceMetrics, Submitter, WorkerPool};
 use protocol::*;
@@ -155,9 +161,15 @@ struct ConnBufs {
     /// Typed staging for the tenant's dtype (only one is ever used).
     f32s: Vec<f32>,
     f64s: Vec<f64>,
-    /// Response payload: a `CUSZP1` frame (compress) or raw LE bytes
-    /// (decompress).
+    /// Response payload: a `CUSZP1` frame or raw `CUSZPHY1` hybrid frame
+    /// (compress) or raw LE bytes (decompress).
     out: Vec<u8>,
+    /// Hybrid tenants' first-stage staging: the plain `CUSZP1` frame the
+    /// entropy stage re-encodes from (and the fallback response when the
+    /// stage does not win).
+    stage: Vec<u8>,
+    /// Hybrid chunk staging, warmed alongside `scratch`.
+    hs: HybridScratch,
     scratch: Scratch,
     /// Result of processing: a response `STATUS_*`.
     status: u8,
@@ -178,6 +190,8 @@ impl ConnBufs {
             f32s: Vec::new(),
             f64s: Vec::new(),
             out: Vec::new(),
+            stage: Vec::new(),
+            hs: HybridScratch::new(),
             scratch: Scratch::new(),
             status: STATUS_OK,
             err: "",
@@ -193,20 +207,41 @@ impl ConnBufs {
         let cap = self.tenant.max_payload as usize;
         let elems = cap / self.tenant.dtype.size();
         self.input.reserve(cap);
-        let stream_cap = match self.tenant.dtype {
+        let (stream_cap, frame_cap) = match self.tenant.dtype {
             DType::F32 => {
                 self.f32s.reserve(elems);
                 self.scratch.warm_for::<f32>(elems, self.codec);
-                fast::max_stream_bytes::<f32>(elems, self.codec)
+                if self.tenant.hybrid {
+                    self.hs
+                        .warm_for::<f32>(elems, self.codec, DEFAULT_CHUNK_BLOCKS);
+                }
+                (
+                    fast::max_stream_bytes::<f32>(elems, self.codec),
+                    hybrid::max_frame_bytes::<f32>(elems, self.codec, DEFAULT_CHUNK_BLOCKS),
+                )
             }
             DType::F64 => {
                 self.f64s.reserve(elems);
                 self.scratch.warm_for::<f64>(elems, self.codec);
-                fast::max_stream_bytes::<f64>(elems, self.codec)
+                if self.tenant.hybrid {
+                    self.hs
+                        .warm_for::<f64>(elems, self.codec, DEFAULT_CHUNK_BLOCKS);
+                }
+                (
+                    fast::max_stream_bytes::<f64>(elems, self.codec),
+                    hybrid::max_frame_bytes::<f64>(elems, self.codec, DEFAULT_CHUNK_BLOCKS),
+                )
             }
         };
-        // `out` carries either a compressed frame or decoded raw bytes.
-        self.out.reserve(stream_cap.max(cap));
+        // `out` carries a compressed frame (plain or hybrid) or decoded
+        // raw bytes; hybrid tenants stage the plain frame separately.
+        let out_cap = if self.tenant.hybrid {
+            self.stage.reserve(stream_cap);
+            stream_cap.max(frame_cap)
+        } else {
+            stream_cap
+        };
+        self.out.reserve(out_cap.max(cap));
     }
 
     fn fail(&mut self, msg: &'static str) {
@@ -233,13 +268,20 @@ fn decode_le<T: WireFloat>(input: &[u8], floats: &mut Vec<T>) {
 
 /// Compress the request in `b` for element type `T`; `floats` is the
 /// matching typed staging buffer (a disjoint borrow of the same bundle).
+/// Hybrid tenants run the `CUSZPHY1` second stage over the plain frame
+/// staged in `stage`; when the stage does not shrink the frame, the
+/// plain frame is the response (and ships container-wrapped as usual).
+#[allow(clippy::too_many_arguments)]
 fn process_compress_typed<T: WireFloat>(
     input: &[u8],
     floats: &mut Vec<T>,
     scratch: &mut Scratch,
+    stage: &mut Vec<u8>,
+    hs: &mut HybridScratch,
     out: &mut Vec<u8>,
     bound: ErrorBound,
     codec: CuszpConfig,
+    hybrid_stage: bool,
 ) -> Result<(), &'static str> {
     if !input.len().is_multiple_of(T::WIRE_SIZE) {
         return Err("compress payload is not a whole number of elements");
@@ -255,19 +297,52 @@ fn process_compress_typed<T: WireFloat>(
             eb
         }
     };
-    fast::compress_into(scratch, floats, eb, codec, out);
+    if hybrid_stage {
+        let r = fast::compress_into(scratch, floats, eb, codec, stage);
+        hybrid::encode(&r, DEFAULT_CHUNK_BLOCKS, hs, out);
+        if out.len() >= stage.len() {
+            out.clear();
+            out.extend_from_slice(stage);
+        }
+    } else {
+        fast::compress_into(scratch, floats, eb, codec, out);
+    }
     Ok(())
 }
 
-/// Decompress the request in `b` (one `CUSZPCH1` container) for element
-/// type `T`, leaving raw LE bytes in `out`.
+/// Decompress the request in `b` (one `CUSZPCH1` container, or — for
+/// hybrid tenants — a raw `CUSZPHY1` frame) for element type `T`,
+/// leaving raw LE bytes in `out`.
 fn process_decompress_typed<T: WireFloat>(
     input: &[u8],
     floats: &mut Vec<T>,
     scratch: &mut Scratch,
+    hs: &mut HybridScratch,
     out: &mut Vec<u8>,
     cap: u32,
+    hybrid_stage: bool,
 ) -> Result<(), &'static str> {
+    if hybrid_stage && input.starts_with(&HYBRID_MAGIC) {
+        let r = hybrid::HybridRef::parse(input).map_err(|_| "malformed CUSZPHY1 frame")?;
+        if r.dtype != T::DTYPE {
+            return Err("hybrid frame dtype does not match tenant dtype");
+        }
+        let total = r.num_elements as usize;
+        if total
+            .checked_mul(T::WIRE_SIZE)
+            .is_none_or(|b| b as u64 > cap as u64)
+        {
+            return Err("decoded size exceeds tenant payload cap");
+        }
+        floats.clear();
+        floats.resize(total, T::from_f64(0.0));
+        hybrid::decode_into(&r, hs, scratch, floats).map_err(|_| "corrupt CUSZPHY1 chunk")?;
+        out.clear();
+        for &v in floats.iter() {
+            v.write_le(out);
+        }
+        return Ok(());
+    }
     // Pass 1: framing + totals. `chunk_ref_iter` validates the container
     // table up front; per-chunk headers are validated as we walk.
     let mut total = 0usize;
@@ -314,9 +389,12 @@ fn process(b: &mut ConnBufs) {
                 &b.input,
                 &mut b.f32s,
                 &mut b.scratch,
+                &mut b.stage,
+                &mut b.hs,
                 &mut b.out,
                 b.tenant.bound,
                 b.codec,
+                b.tenant.hybrid,
             )
         }
         (OP_COMPRESS, DType::F64) => {
@@ -325,24 +403,31 @@ fn process(b: &mut ConnBufs) {
                 &b.input,
                 &mut b.f64s,
                 &mut b.scratch,
+                &mut b.stage,
+                &mut b.hs,
                 &mut b.out,
                 b.tenant.bound,
                 b.codec,
+                b.tenant.hybrid,
             )
         }
         (OP_DECOMPRESS, DType::F32) => process_decompress_typed::<f32>(
             &b.input,
             &mut b.f32s,
             &mut b.scratch,
+            &mut b.hs,
             &mut b.out,
             b.tenant.max_payload,
+            b.tenant.hybrid,
         ),
         (OP_DECOMPRESS, DType::F64) => process_decompress_typed::<f64>(
             &b.input,
             &mut b.f64s,
             &mut b.scratch,
+            &mut b.hs,
             &mut b.out,
             b.tenant.max_payload,
+            b.tenant.hybrid,
         ),
         _ => Err("internal: unknown op reached worker"),
     };
@@ -666,10 +751,19 @@ fn write_codec_response(
     match b.status {
         STATUS_OK if op == OP_COMPRESS => {
             // Response payload: a single-chunk CUSZPCH1 container,
-            // written as header + frame without materializing it.
-            let total = single_chunk_container_len(b.out.len());
+            // written as header + frame without materializing it — or,
+            // when the hybrid second stage won, the raw self-framing
+            // CUSZPHY1 frame.
+            let hybrid_frame = b.out.starts_with(&HYBRID_MAGIC);
+            let total = if hybrid_frame {
+                b.out.len()
+            } else {
+                single_chunk_container_len(b.out.len())
+            };
             stream.write_all(&encode_response_header(STATUS_OK, total as u32))?;
-            stream.write_all(&single_chunk_container_header(b.out.len() as u64))?;
+            if !hybrid_frame {
+                stream.write_all(&single_chunk_container_header(b.out.len() as u64))?;
+            }
             stream.write_all(&b.out)?;
             metrics.compress_requests.fetch_add(1, Ordering::Relaxed);
             metrics.raw_bytes.fetch_add(b.raw_len, Ordering::Relaxed);

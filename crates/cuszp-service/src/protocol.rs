@@ -26,8 +26,17 @@ use cuszp_core::{DType, ErrorBound};
 pub const HANDSHAKE_MAGIC: [u8; 8] = *b"CUSZPSV1";
 
 /// Size of the client hello: magic(8) + tenant_id(8) + dtype(1) +
-/// bound_mode(1) + reserved(2) + bound(8) + max_payload(4).
+/// bound_mode(1) + flags(1) + reserved(1) + bound(8) + max_payload(4).
+/// The flags byte currently defines bit 0 = hybrid second stage
+/// ([`HELLO_FLAG_HYBRID`]); all other flag bits and the reserved byte
+/// must be zero.
 pub const HANDSHAKE_BYTES: usize = 32;
+
+/// Hello flags-byte bit (byte 18, bit 0): opt this connection into the
+/// `CUSZPHY1` hybrid second stage. Compress responses become raw hybrid
+/// frames instead of single-chunk `CUSZPCH1` containers, and decompress
+/// requests may carry either format.
+pub const HELLO_FLAG_HYBRID: u8 = 1;
 
 /// Size of the server's handshake reply: status(1) + code(1) +
 /// reserved(2) + effective max_payload(4).
@@ -64,7 +73,7 @@ pub const HS_BAD_MAGIC: u8 = 1;
 /// Handshake reject code: unknown dtype byte.
 pub const HS_BAD_DTYPE: u8 = 2;
 /// Handshake reject code: bound not finite/positive, or unknown mode,
-/// or nonzero reserved bytes.
+/// or undefined flag bits / nonzero reserved byte.
 pub const HS_BAD_BOUND: u8 = 3;
 /// Handshake reject code: `max_payload` was zero.
 pub const HS_BAD_CAP: u8 = 4;
@@ -88,6 +97,11 @@ pub struct Tenant {
     pub bound: ErrorBound,
     /// Largest raw payload (bytes) this connection will move.
     pub max_payload: u32,
+    /// Opt into the `CUSZPHY1` hybrid second stage: compress responses
+    /// are raw hybrid frames (when the entropy stage wins) and
+    /// decompress requests may carry either a `CUSZPCH1` container or a
+    /// hybrid frame. Carried as bit 0 of the hello flags byte.
+    pub hybrid: bool,
 }
 
 impl Tenant {
@@ -102,7 +116,8 @@ impl Tenant {
             ErrorBound::Rel(l) => (BOUND_REL, l),
         };
         b[17] = mode;
-        // b[18..20] reserved, zero.
+        b[18] = if self.hybrid { HELLO_FLAG_HYBRID } else { 0 };
+        // b[19] reserved, zero.
         b[20..28].copy_from_slice(&bound.to_le_bytes());
         b[28..32].copy_from_slice(&self.max_payload.to_le_bytes());
         b
@@ -117,9 +132,14 @@ impl Tenant {
         let tenant_id = u64::from_le_bytes(b[8..16].try_into().unwrap());
         let dtype = DType::from_byte(b[16]).ok_or(HS_BAD_DTYPE)?;
         let bound_raw = f64::from_le_bytes(b[20..28].try_into().unwrap());
-        if b[18] != 0 || b[19] != 0 || !bound_raw.is_finite() || bound_raw <= 0.0 {
+        if b[18] & !HELLO_FLAG_HYBRID != 0
+            || b[19] != 0
+            || !bound_raw.is_finite()
+            || bound_raw <= 0.0
+        {
             return Err(HS_BAD_BOUND);
         }
+        let hybrid = b[18] & HELLO_FLAG_HYBRID != 0;
         let bound = match b[17] {
             BOUND_ABS => ErrorBound::Abs(bound_raw),
             BOUND_REL => ErrorBound::Rel(bound_raw),
@@ -134,6 +154,7 @@ impl Tenant {
             dtype,
             bound,
             max_payload,
+            hybrid,
         })
     }
 }
@@ -200,6 +221,7 @@ mod tests {
             dtype: DType::F64,
             bound: ErrorBound::Rel(1e-3),
             max_payload: 1 << 20,
+            hybrid: false,
         };
         assert_eq!(Tenant::decode_hello(&t.encode_hello()), Ok(t));
         let abs = Tenant {
@@ -208,6 +230,10 @@ mod tests {
             ..t
         };
         assert_eq!(Tenant::decode_hello(&abs.encode_hello()), Ok(abs));
+        let hybrid = Tenant { hybrid: true, ..t };
+        let hello = hybrid.encode_hello();
+        assert_eq!(hello[18], HELLO_FLAG_HYBRID);
+        assert_eq!(Tenant::decode_hello(&hello), Ok(hybrid));
     }
 
     #[test]
@@ -217,6 +243,7 @@ mod tests {
             dtype: DType::F32,
             bound: ErrorBound::Abs(0.01),
             max_payload: 4096,
+            hybrid: false,
         }
         .encode_hello();
 
@@ -233,7 +260,11 @@ mod tests {
         assert_eq!(Tenant::decode_hello(&b), Err(HS_BAD_BOUND));
 
         let mut b = good;
-        b[18] = 1; // reserved must be zero
+        b[18] = 2; // undefined flag bit
+        assert_eq!(Tenant::decode_hello(&b), Err(HS_BAD_BOUND));
+
+        let mut b = good;
+        b[19] = 1; // reserved must be zero
         assert_eq!(Tenant::decode_hello(&b), Err(HS_BAD_BOUND));
 
         let mut b = good;

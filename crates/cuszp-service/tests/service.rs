@@ -19,6 +19,7 @@ fn tenant_f32(cap: u32) -> Tenant {
         dtype: DType::F32,
         bound: ErrorBound::Abs(1e-2),
         max_payload: cap,
+        hybrid: false,
     }
 }
 
@@ -85,6 +86,7 @@ fn f64_tenant_roundtrips_with_rel_bound() {
         dtype: DType::F64,
         bound: ErrorBound::Rel(1e-3),
         max_payload: 1 << 20,
+        hybrid: false,
     };
     let mut client = Client::connect(server.addr(), tenant).unwrap();
     let data: Vec<f64> = (0..5000)
@@ -223,6 +225,7 @@ fn rel_bound_on_constant_data_is_an_error_not_a_crash() {
         dtype: DType::F32,
         bound: ErrorBound::Rel(1e-3),
         max_payload: 1 << 16,
+        hybrid: false,
     };
     let mut client = Client::connect(server.addr(), tenant).unwrap();
     let constant = vec![4.25f32; 2048];
@@ -254,6 +257,7 @@ fn bad_handshake_is_rejected() {
         dtype: DType::F32,
         bound: ErrorBound::Abs(0.0),
         max_payload: 4096,
+        hybrid: false,
     };
     assert!(Client::connect(server.addr(), bad).is_err());
     server.shutdown();
@@ -321,6 +325,47 @@ fn empty_compress_request_roundtrips() {
     let mut out = vec![1.0f32; 3];
     client.decompress_f32(&container, &mut out).unwrap();
     assert!(out.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn hybrid_tenant_roundtrips_both_frame_formats() {
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let tenant = Tenant {
+        hybrid: true,
+        ..tenant_f32(1 << 20)
+    };
+    let mut client = Client::connect(server.addr(), tenant).unwrap();
+
+    // Highly redundant data: the entropy stage must win, so the response
+    // is a raw self-framing CUSZPHY1 frame, smaller than the plain
+    // container for the same input.
+    let zeros = vec![0.0f32; 100_000];
+    let frame = client.compress_f32(&zeros).unwrap().to_vec();
+    assert!(
+        frame.starts_with(&cuszp_core::hybrid::HYBRID_MAGIC),
+        "redundant data must come back as a hybrid frame"
+    );
+    let plain = cuszp_core::Cuszp::new()
+        .compress_chunked(&zeros, ErrorBound::Abs(1e-2), zeros.len())
+        .to_bytes();
+    assert!(frame.len() < plain.len(), "hybrid frame must be smaller");
+    let mut restored = Vec::new();
+    client.decompress_f32(&frame, &mut restored).unwrap();
+    assert_eq!(restored, zeros);
+
+    // A hybrid connection still accepts plain containers on decompress —
+    // and round-trips arbitrary data whichever format comes back.
+    client.decompress_f32(&plain, &mut restored).unwrap();
+    assert_eq!(restored, zeros);
+    let data = wave(10_000, 0.3);
+    let payload = client.compress_f32(&data).unwrap().to_vec();
+    client.decompress_f32(&payload, &mut restored).unwrap();
+    assert_eq!(restored.len(), data.len());
+    assert!(
+        cuszp_core::verify::check_bound(&data, &restored, 1e-2),
+        "bound violated through the hybrid path"
+    );
     server.shutdown();
 }
 

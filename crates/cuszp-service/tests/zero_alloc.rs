@@ -32,6 +32,7 @@ fn steady_state_request_loop_is_allocation_free() {
         dtype: DType::F32,
         bound: ErrorBound::Abs(1e-2),
         max_payload: (data.len() * 4) as u32,
+        hybrid: false,
     };
     let mut client = Client::connect(server.addr(), tenant).unwrap();
 
@@ -85,5 +86,53 @@ fn steady_state_request_loop_is_allocation_free() {
     // Sanity: traffic was real.
     assert!(cuszp_core::verify::check_bound(&data, &restored, 1e-2));
     assert!(metrics_text.contains("cuszp_requests_total{op=\"compress\"} 21"));
+    server.shutdown();
+}
+
+#[test]
+fn hybrid_tenant_steady_state_is_allocation_free() {
+    // The CUSZPHY1 second stage (estimator, RLE, Huffman) writes only
+    // into the connection's pre-warmed staging buffers, so a hybrid
+    // tenant keeps the same zero-heap-op contract. Redundant data forces
+    // the entropy coders to actually run (the response is a raw hybrid
+    // frame, not the container fallback).
+    let data = vec![0.0f32; 65_536];
+    assert!(alloc_counter::is_installed());
+
+    let server = Server::start(ServiceConfig::default()).unwrap();
+    let tenant = Tenant {
+        tenant_id: 43,
+        dtype: DType::F32,
+        bound: ErrorBound::Abs(1e-2),
+        max_payload: (data.len() * 4) as u32,
+        hybrid: true,
+    };
+    let mut client = Client::connect(server.addr(), tenant).unwrap();
+
+    let mut frame = Vec::new();
+    let mut restored: Vec<f32> = Vec::new();
+    let roundtrip = |client: &mut Client, frame: &mut Vec<u8>, restored: &mut Vec<f32>| {
+        let c = client.compress_f32(&data).unwrap();
+        frame.clear();
+        frame.extend_from_slice(c);
+        client.decompress_f32(frame, restored).unwrap();
+    };
+
+    roundtrip(&mut client, &mut frame, &mut restored);
+    assert!(
+        frame.starts_with(&cuszp_core::hybrid::HYBRID_MAGIC),
+        "the entropy stage must win on all-zero data"
+    );
+    assert_eq!(restored, data);
+
+    let ops = heap_ops_of(|| {
+        for _ in 0..20 {
+            roundtrip(&mut client, &mut frame, &mut restored);
+        }
+    });
+    assert_eq!(
+        ops, 0,
+        "20 steady-state hybrid round trips must not touch the heap"
+    );
     server.shutdown();
 }

@@ -1,16 +1,23 @@
-//! The [`ErrorBoundedCodec`] trait and its three implementations.
+//! The [`ErrorBoundedCodec`] trait and its four implementations.
 //!
 //! A codec is a self-describing byte-stream format with block-granular
 //! partial decode: `decode_blocks(range)` reconstructs exactly the
 //! elements covered by a block range, reading only those blocks' payload
-//! bytes. All three implementations are copy-free (they parse borrowed
-//! views over the frame bytes — never materialize the payload) and
+//! bytes. All implementations are copy-free (they parse borrowed views
+//! over the frame bytes — never materialize the payload) and
 //! allocation-free after warm-up (scratch lives in [`CodecScratch`] or on
 //! the stack).
+//!
+//! The trait is f32-first (every codec must handle f32 frames); f64 is
+//! opt-in per codec through [`ErrorBoundedCodec::supports_dtype`] and the
+//! `*_f64` methods, whose defaults return
+//! [`StoreError::UnsupportedDtype`]. The cuSZp-backed codecs (`CZP1` and
+//! the hybrid `CZH1`) support both element types.
 
 use crate::error::StoreError;
 use baselines::{cuszx, cuzfp};
-use cuszp_core::{fast, CompressedRef, CuszpConfig, DType, Scratch};
+use cuszp_core::hybrid::{self, HybridRef, HybridScratch, DEFAULT_CHUNK_BLOCKS, HYBRID_MAGIC};
+use cuszp_core::{fast, CompressedRef, CuszpConfig, DType, FloatData, Scratch};
 use std::ops::Range;
 
 /// 4-byte codec identifier persisted in shard chunk entries.
@@ -24,6 +31,11 @@ pub type FormatId = [u8; 4];
 pub struct CodecScratch {
     /// Arena for the cuSZp fast codec (offsets + worker state).
     pub cuszp: Scratch,
+    /// Staging buffer for the hybrid codec's lossy pre-stage frame
+    /// (the `CUSZP1` bytes the second stage recodes).
+    pub stage: Vec<u8>,
+    /// Chunk staging for the hybrid entropy stage.
+    pub hybrid: HybridScratch,
 }
 
 impl CodecScratch {
@@ -62,8 +74,21 @@ pub trait ErrorBoundedCodec {
     fn is_error_bounded(&self) -> bool {
         true
     }
+    /// Whether this codec can encode and decode `dtype` elements. Every
+    /// codec handles f32; f64 is opt-in (the default says no, matching
+    /// the `*_f64` defaults below).
+    fn supports_dtype(&self, dtype: DType) -> bool {
+        dtype == DType::F32
+    }
     /// Values per block — the granularity of partial decode.
     fn block_len(&self) -> usize;
+    /// The format's smallest random-access unit, in blocks: 1 for plain
+    /// codecs, coarser for formats that group blocks into variable-length
+    /// super-blocks (the hybrid codec's entropy chunks), where serving
+    /// one block means reading its whole group's payload.
+    fn access_granularity_blocks(&self) -> usize {
+        1
+    }
     /// Compress `data` at absolute bound `eb` into `out` (contents
     /// replaced, capacity reused).
     fn encode(&self, data: &[f32], eb: f64, scratch: &mut CodecScratch, out: &mut Vec<u8>);
@@ -89,6 +114,38 @@ pub trait ErrorBoundedCodec {
         let num_blocks = n.div_ceil(self.block_len());
         self.decode_blocks(stream, 0..num_blocks, scratch, out)
     }
+    /// Compress f64 `data` at absolute bound `eb` into `out`. Errors with
+    /// [`StoreError::UnsupportedDtype`] unless the codec opted in via
+    /// [`ErrorBoundedCodec::supports_dtype`].
+    fn encode_f64(
+        &self,
+        data: &[f64],
+        eb: f64,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        let _ = (data, eb, scratch, out);
+        Err(StoreError::UnsupportedDtype {
+            codec: self.name(),
+            dtype: DType::F64,
+        })
+    }
+    /// Decode blocks of an f64 frame; same contract as
+    /// [`ErrorBoundedCodec::decode_blocks`], same opt-in as
+    /// [`ErrorBoundedCodec::encode_f64`].
+    fn decode_blocks_f64(
+        &self,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [f64],
+    ) -> Result<usize, StoreError> {
+        let _ = (stream, blocks, scratch, out);
+        Err(StoreError::UnsupportedDtype {
+            codec: self.name(),
+            dtype: DType::F64,
+        })
+    }
 }
 
 /// cuSZp frames (`CUSZP1`): quantize + Lorenzo, fixed-length blocks of
@@ -101,10 +158,16 @@ impl CuszpCodec {
         CuszpConfig::default()
     }
 
-    fn parse(stream: &[u8]) -> Result<CompressedRef<'_>, StoreError> {
+    /// Parse a frame and require its element type to match the decode
+    /// request — a frame of the other dtype is a typed error, never an
+    /// assert (the decoder's dtype asserts are for caller bugs only).
+    fn parse_as(stream: &[u8], requested: DType) -> Result<CompressedRef<'_>, StoreError> {
         let r = CompressedRef::parse(stream)?;
-        if r.dtype != DType::F32 {
-            return Err(StoreError::Corrupt("store frames are f32"));
+        if r.dtype != requested {
+            return Err(StoreError::DtypeMismatch {
+                stored: r.dtype,
+                requested,
+            });
         }
         Ok(r)
     }
@@ -117,6 +180,9 @@ impl ErrorBoundedCodec for CuszpCodec {
     fn name(&self) -> &'static str {
         "cuszp"
     }
+    fn supports_dtype(&self, _dtype: DType) -> bool {
+        true
+    }
     fn block_len(&self) -> usize {
         Self::config().block_len
     }
@@ -124,7 +190,7 @@ impl ErrorBoundedCodec for CuszpCodec {
         fast::compress_into(&mut scratch.cuszp, data, eb, Self::config(), out);
     }
     fn num_elements(&self, stream: &[u8]) -> Result<usize, StoreError> {
-        Ok(Self::parse(stream)?.num_elements as usize)
+        Ok(CompressedRef::parse(stream)?.num_elements as usize)
     }
     fn decode_blocks(
         &self,
@@ -133,13 +199,154 @@ impl ErrorBoundedCodec for CuszpCodec {
         scratch: &mut CodecScratch,
         out: &mut [f32],
     ) -> Result<usize, StoreError> {
-        let r = Self::parse(stream)?;
+        let r = Self::parse_as(stream, DType::F32)?;
         Ok(fast::decompress_blocks_into(
             r,
             blocks,
             &mut scratch.cuszp,
             out,
         ))
+    }
+    fn encode_f64(
+        &self,
+        data: &[f64],
+        eb: f64,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        fast::compress_into(&mut scratch.cuszp, data, eb, Self::config(), out);
+        Ok(())
+    }
+    fn decode_blocks_f64(
+        &self,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [f64],
+    ) -> Result<usize, StoreError> {
+        let r = Self::parse_as(stream, DType::F64)?;
+        Ok(fast::decompress_blocks_into(
+            r,
+            blocks,
+            &mut scratch.cuszp,
+            out,
+        ))
+    }
+}
+
+/// Hybrid cuSZp frames (`CZH1`): the `CUSZP1` lossy stage recoded by the
+/// per-chunk adaptive entropy second stage into a `CUSZPHY1` frame —
+/// unless the hybrid frame would not be smaller, in which case the plain
+/// `CUSZP1` frame is stored as-is (the decode side sniffs the magic).
+/// Lossless over the lossy stage, so the error bound is untouched; block
+/// random access goes through the stored per-chunk offset table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CuszpHybridCodec;
+
+impl CuszpHybridCodec {
+    fn config() -> CuszpConfig {
+        CuszpConfig::default()
+    }
+
+    fn encode_any<T: FloatData>(
+        data: &[T],
+        eb: f64,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) {
+        let CodecScratch {
+            cuszp,
+            stage,
+            hybrid: hs,
+        } = scratch;
+        let r = fast::compress_into(cuszp, data, eb, Self::config(), stage);
+        hybrid::encode(&r, DEFAULT_CHUNK_BLOCKS, hs, out);
+        if out.len() >= stage.len() {
+            // Whole-frame fallback: the second stage did not pay for its
+            // table, so store the plain frame (never larger than CUSZP1).
+            out.clear();
+            out.extend_from_slice(stage);
+        }
+    }
+
+    fn decode_any<T: FloatData>(
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [T],
+    ) -> Result<usize, StoreError> {
+        let CodecScratch {
+            cuszp, hybrid: hs, ..
+        } = scratch;
+        if stream.starts_with(&HYBRID_MAGIC) {
+            let r = HybridRef::parse(stream)?;
+            if r.dtype != T::DTYPE {
+                return Err(StoreError::DtypeMismatch {
+                    stored: r.dtype,
+                    requested: T::DTYPE,
+                });
+            }
+            Ok(hybrid::decode_blocks_into(&r, blocks, hs, cuszp, out)?)
+        } else {
+            let r = CuszpCodec::parse_as(stream, T::DTYPE)?;
+            Ok(fast::decompress_blocks_into(r, blocks, cuszp, out))
+        }
+    }
+}
+
+impl ErrorBoundedCodec for CuszpHybridCodec {
+    fn format_id(&self) -> FormatId {
+        *b"CZH1"
+    }
+    fn name(&self) -> &'static str {
+        "cuszp-hybrid"
+    }
+    fn supports_dtype(&self, _dtype: DType) -> bool {
+        true
+    }
+    fn block_len(&self) -> usize {
+        Self::config().block_len
+    }
+    fn access_granularity_blocks(&self) -> usize {
+        DEFAULT_CHUNK_BLOCKS
+    }
+    fn encode(&self, data: &[f32], eb: f64, scratch: &mut CodecScratch, out: &mut Vec<u8>) {
+        Self::encode_any(data, eb, scratch, out);
+    }
+    fn num_elements(&self, stream: &[u8]) -> Result<usize, StoreError> {
+        if stream.starts_with(&HYBRID_MAGIC) {
+            Ok(HybridRef::parse(stream)?.num_elements as usize)
+        } else {
+            Ok(CompressedRef::parse(stream)?.num_elements as usize)
+        }
+    }
+    fn decode_blocks(
+        &self,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [f32],
+    ) -> Result<usize, StoreError> {
+        Self::decode_any(stream, blocks, scratch, out)
+    }
+    fn encode_f64(
+        &self,
+        data: &[f64],
+        eb: f64,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        Self::encode_any(data, eb, scratch, out);
+        Ok(())
+    }
+    fn decode_blocks_f64(
+        &self,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [f64],
+    ) -> Result<usize, StoreError> {
+        Self::decode_any(stream, blocks, scratch, out)
     }
 }
 

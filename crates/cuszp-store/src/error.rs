@@ -1,7 +1,7 @@
 //! Typed failure modes of the store layer.
 
 use crate::codec::FormatId;
-use cuszp_core::FormatError;
+use cuszp_core::{DType, FormatError};
 
 /// Errors opening or reading a shard.
 ///
@@ -34,6 +34,25 @@ pub enum StoreError {
     Frame(FormatError),
     /// A shape, origin, or extent argument is inconsistent.
     Shape(&'static str),
+    /// The shard (or a frame inside it) stores a different element type
+    /// than the one requested.
+    DtypeMismatch {
+        /// Element type recorded in the shard index or frame header.
+        stored: DType,
+        /// Element type the caller asked to read or write.
+        requested: DType,
+    },
+    /// The codec cannot encode or decode the requested element type.
+    UnsupportedDtype {
+        /// Name of the codec that was asked.
+        codec: &'static str,
+        /// The element type it does not support.
+        dtype: DType,
+    },
+    /// An I/O error opening or mapping a shard file (the kind is kept;
+    /// the `std::io::Error` payload is not, so the variant stays
+    /// comparable).
+    Io(std::io::ErrorKind),
 }
 
 impl std::fmt::Display for StoreError {
@@ -56,6 +75,13 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Frame(e) => write!(f, "corrupt chunk frame: {e}"),
             StoreError::Shape(why) => write!(f, "bad shape: {why}"),
+            StoreError::DtypeMismatch { stored, requested } => {
+                write!(f, "shard stores {stored:?} but {requested:?} was requested")
+            }
+            StoreError::UnsupportedDtype { codec, dtype } => {
+                write!(f, "codec {codec:?} does not support {dtype:?} elements")
+            }
+            StoreError::Io(kind) => write!(f, "shard i/o failed: {kind}"),
         }
     }
 }
@@ -72,5 +98,11 @@ impl std::error::Error for StoreError {
 impl From<FormatError> for StoreError {
     fn from(e: FormatError) -> Self {
         StoreError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.kind())
     }
 }

@@ -8,6 +8,7 @@
 //! frames        chunk 0 .. chunk num_chunks−1, back to back from byte 0
 //! index         magic          8 B   "CUSZPIX1"
 //!               ndim           1 B   1..=MAX_DIMS
+//!               dtype          1 B   element type (0 = f32, 1 = f64)
 //!               shape          ndim × 8 B   u64, each ≥ 1
 //!               chunk_shape    ndim × 8 B   u64, each ≥ 1
 //!               num_chunks     4 B   u32 == Π ⌈shape/chunk_shape⌉
@@ -33,6 +34,7 @@
 
 use crate::codec::FormatId;
 use crate::error::StoreError;
+use cuszp_core::DType;
 
 /// Index magic.
 pub const INDEX_MAGIC: [u8; 8] = *b"CUSZPIX1";
@@ -68,6 +70,8 @@ pub struct ShardIndex {
     pub shape: Vec<usize>,
     /// Chunk shape (edge chunks clamp to the array bounds).
     pub chunk_shape: Vec<usize>,
+    /// Element type of every chunk in the shard.
+    pub dtype: DType,
     /// Per-chunk entries, C-order over the chunk grid.
     pub entries: Vec<ChunkEntry>,
 }
@@ -91,9 +95,10 @@ impl ShardIndex {
             .product()
     }
 
-    /// Serialized index size for `ndim` axes and `num_chunks` chunks.
+    /// Serialized index size for `ndim` axes and `num_chunks` chunks
+    /// (magic + ndim + dtype + shapes + count + entries).
     pub fn index_bytes(ndim: usize, num_chunks: usize) -> usize {
-        8 + 1 + 2 * ndim * 8 + 4 + num_chunks * ENTRY_BYTES
+        8 + 1 + 1 + 2 * ndim * 8 + 4 + num_chunks * ENTRY_BYTES
     }
 
     /// Append the serialized index followed by the footer to `out`
@@ -103,6 +108,7 @@ impl ShardIndex {
         let index_offset = out.len() as u64;
         out.extend_from_slice(&INDEX_MAGIC);
         out.push(self.shape.len() as u8);
+        out.push(self.dtype.to_byte());
         for &s in &self.shape {
             out.extend_from_slice(&(s as u64).to_le_bytes());
         }
@@ -129,7 +135,8 @@ impl ShardIndex {
     /// 3. `index_offset` leaves room for a minimal index before the
     ///    footer — else [`StoreError::Corrupt`].
     /// 4. Index magic — else [`StoreError::BadMagic`].
-    /// 5. `ndim ∈ [1, 8]`; shape and chunk dims ≥ 1; the total element
+    /// 5. `ndim ∈ [1, 8]`; the dtype byte is a known element type
+    ///    (0 = f32, 1 = f64); shape and chunk dims ≥ 1; the total element
     ///    count `Π shape` fits in `usize` — else [`StoreError::Corrupt`].
     /// 6. `num_chunks` ≤ 2^24 and equals the grid product — else
     ///    [`StoreError::Corrupt`].
@@ -169,7 +176,9 @@ impl ShardIndex {
         if !(1..=MAX_DIMS).contains(&ndim) {
             return Err(StoreError::Corrupt("dimensionality out of range"));
         }
-        let shapes_end = 9 + 2 * ndim * 8;
+        let dtype =
+            DType::from_byte(index[9]).ok_or(StoreError::Corrupt("unknown element dtype"))?;
+        let shapes_end = 10 + 2 * ndim * 8;
         if index.len() < shapes_end + 4 {
             return Err(StoreError::Truncated);
         }
@@ -186,8 +195,8 @@ impl ShardIndex {
                 })
                 .collect()
         };
-        let shape = read_dims(9)?;
-        let chunk_shape = read_dims(9 + ndim * 8)?;
+        let shape = read_dims(10)?;
+        let chunk_shape = read_dims(10 + ndim * 8)?;
         // Untrusted 64-bit dims: the total element count must fit in
         // usize, or downstream products (grid strides, chunk_elements,
         // Shard::num_elements) could wrap — a debug panic and, in
@@ -228,6 +237,7 @@ impl ShardIndex {
         let mut idx = ShardIndex {
             shape,
             chunk_shape,
+            dtype,
             entries: Vec::with_capacity(num_chunks),
         };
         let grid = idx.grid();
@@ -281,6 +291,7 @@ mod tests {
         let idx = ShardIndex {
             shape: vec![5, 6],
             chunk_shape: vec![4, 4],
+            dtype: DType::F32,
             entries: vec![
                 ChunkEntry {
                     offset: 0,
@@ -389,6 +400,7 @@ mod tests {
         let io = bytes.len() as u64;
         bytes.extend_from_slice(&INDEX_MAGIC);
         bytes.push(2);
+        bytes.push(0); // dtype f32
         let huge = usize::MAX as u64;
         bytes.extend_from_slice(&huge.to_le_bytes()); // shape[0]
         bytes.extend_from_slice(&huge.to_le_bytes()); // shape[1]
@@ -444,6 +456,7 @@ mod tests {
         let io = bytes.len() as u64;
         bytes.extend_from_slice(&INDEX_MAGIC);
         bytes.push(1);
+        bytes.push(0); // dtype f32
         bytes.extend_from_slice(&3u64.to_le_bytes()); // shape
         bytes.extend_from_slice(&0u64.to_le_bytes()); // chunk_shape = 0
         bytes.extend_from_slice(&0u32.to_le_bytes());
@@ -462,6 +475,7 @@ mod tests {
         let io = bytes.len() as u64;
         bytes.extend_from_slice(&INDEX_MAGIC);
         bytes.push(1);
+        bytes.push(0); // dtype f32
         bytes.extend_from_slice(&10u64.to_le_bytes()); // shape 10
         bytes.extend_from_slice(&4u64.to_le_bytes()); // chunks of 4 → 3
         bytes.extend_from_slice(&2u32.to_le_bytes()); // claims 2
@@ -494,11 +508,29 @@ mod tests {
     }
 
     #[test]
+    fn dtype_byte_roundtrips_and_rejects_unknown() {
+        // An f64 shard index survives a roundtrip intact.
+        let (_, mut idx) = sample();
+        idx.dtype = DType::F64;
+        let mut shard = vec![0xAAu8; 25];
+        idx.append_to(&mut shard);
+        let back = ShardIndex::parse(&shard).unwrap();
+        assert_eq!(back, idx);
+        assert_eq!(back.dtype, DType::F64);
+        // An unknown dtype byte must be rejected before any shape is read.
+        shard[25 + 9] = 7; // the dtype byte inside the index
+        assert_eq!(
+            ShardIndex::parse(&shard),
+            Err(StoreError::Corrupt("unknown element dtype"))
+        );
+    }
+
+    #[test]
     fn bad_ndim_rejected() {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&INDEX_MAGIC);
         bytes.push(9); // > MAX_DIMS
-        bytes.resize(bytes.len() + 2 * 9 * 8 + 4, 0);
+        bytes.resize(bytes.len() + 1 + 2 * 9 * 8 + 4, 0);
         let io = 0u64;
         bytes.extend_from_slice(&io.to_le_bytes());
         bytes.extend_from_slice(&FOOTER_MAGIC);

@@ -9,8 +9,11 @@
 //! 1. [`ErrorBoundedCodec`] — encode/decode plus `decode_blocks(range)`
 //!    partial decode, implemented by cuSZp (via
 //!    [`cuszp_core::CompressedRef`] and the recomputed `(F, CmpL)` offset
-//!    table) and adapted for the `baselines` compressors (cuSZx via its
-//!    descriptor table, cuZFP via fixed-rate multiplication).
+//!    table), the hybrid two-stage cuSZp (`CUSZPHY1` frames read through
+//!    their stored per-chunk offset table), and adapted for the
+//!    `baselines` compressors (cuSZx via its descriptor table, cuZFP via
+//!    fixed-rate multiplication). Frames are `f32` or `f64`; the shard
+//!    index records which, and the cuSZp-backed codecs accept both.
 //! 2. [`CodecRegistry`] — runtime dispatch keyed by a 4-byte format id,
 //!    so a stored shard names its codec and readers resolve it at open.
 //! 3. [`Shard`] — an n-D array split into chunks, each chunk one
@@ -37,8 +40,10 @@ pub mod index;
 pub mod registry;
 pub mod store;
 
-pub use codec::{CodecScratch, CuszpCodec, CuszxCodec, CuzfpCodec, ErrorBoundedCodec, FormatId};
+pub use codec::{
+    CodecScratch, CuszpCodec, CuszpHybridCodec, CuszxCodec, CuzfpCodec, ErrorBoundedCodec, FormatId,
+};
 pub use error::StoreError;
 pub use index::{ChunkEntry, ShardIndex};
 pub use registry::CodecRegistry;
-pub use store::{write_shard, ReadStats, Shard, StoreScratch};
+pub use store::{write_shard, ReadStats, Shard, ShardElement, StoreScratch};

@@ -1,6 +1,8 @@
 //! Runtime codec dispatch keyed by format id.
 
-use crate::codec::{CuszpCodec, CuszxCodec, CuzfpCodec, ErrorBoundedCodec, FormatId};
+use crate::codec::{
+    CuszpCodec, CuszpHybridCodec, CuszxCodec, CuzfpCodec, ErrorBoundedCodec, FormatId,
+};
 
 /// A set of codecs a reader resolves shard chunk entries against.
 ///
@@ -18,11 +20,13 @@ impl CodecRegistry {
         Self::default()
     }
 
-    /// Registry holding the three built-in codecs: cuSZp (`CZP1`), cuSZx
-    /// (`CZX1`), and cuZFP (`CZF1`, rate 16).
+    /// Registry holding the four built-in codecs: cuSZp (`CZP1`), the
+    /// hybrid two-stage cuSZp (`CZH1`), cuSZx (`CZX1`), and cuZFP
+    /// (`CZF1`, rate 16).
     pub fn with_defaults() -> Self {
         let mut r = Self::new();
         r.register(Box::new(CuszpCodec));
+        r.register(Box::new(CuszpHybridCodec));
         r.register(Box::new(CuszxCodec));
         r.register(Box::new(CuzfpCodec::default()));
         r

@@ -19,6 +19,9 @@ use crate::codec::{CodecScratch, ErrorBoundedCodec};
 use crate::error::StoreError;
 use crate::index::{ChunkEntry, ShardIndex, MAX_DIMS};
 use crate::registry::CodecRegistry;
+use cuszp_core::DType;
+use std::ops::Range;
+use std::path::Path;
 
 /// Reusable buffers for shard reads. Warm it with one read of the
 /// largest region you'll request; subsequent reads of any shape allocate
@@ -27,8 +30,104 @@ use crate::registry::CodecRegistry;
 pub struct StoreScratch {
     /// Per-codec scratch (cuSZp arena; the other codecs use the stack).
     pub codec: CodecScratch,
-    /// Decode tile covering one run's block span (monotonic growth).
+    /// f32 decode tile covering one run's block span (monotonic growth).
     tile: Vec<f32>,
+    /// f64 decode tile (same role, other element type).
+    tile64: Vec<f64>,
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// An element type shards can hold — sealed to `f32` and `f64`, matching
+/// the two dtypes the index records. The trait carries the per-dtype
+/// codec entry points so the chunk walker is written once, generically;
+/// the methods are implementation detail, not a user-facing API.
+pub trait ShardElement: sealed::Sealed + Copy + Default + 'static {
+    /// The dtype tag recorded in the shard index.
+    const DTYPE: DType;
+    /// Encode one gathered chunk through `codec`.
+    #[doc(hidden)]
+    fn encode_chunk(
+        codec: &dyn ErrorBoundedCodec,
+        data: &[Self],
+        eb: f64,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError>;
+    /// Decode a block range of one frame through `codec`.
+    #[doc(hidden)]
+    fn decode_chunk_blocks(
+        codec: &dyn ErrorBoundedCodec,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [Self],
+    ) -> Result<usize, StoreError>;
+    /// Split `scratch` into this dtype's decode tile (grown to at least
+    /// `need` elements) and the codec scratch, borrowed disjointly.
+    #[doc(hidden)]
+    fn tile_and_codec(scratch: &mut StoreScratch, need: usize) -> (&mut [Self], &mut CodecScratch);
+}
+
+impl ShardElement for f32 {
+    const DTYPE: DType = DType::F32;
+    fn encode_chunk(
+        codec: &dyn ErrorBoundedCodec,
+        data: &[Self],
+        eb: f64,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        codec.encode(data, eb, scratch, out);
+        Ok(())
+    }
+    fn decode_chunk_blocks(
+        codec: &dyn ErrorBoundedCodec,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [Self],
+    ) -> Result<usize, StoreError> {
+        codec.decode_blocks(stream, blocks, scratch, out)
+    }
+    fn tile_and_codec(scratch: &mut StoreScratch, need: usize) -> (&mut [Self], &mut CodecScratch) {
+        if scratch.tile.len() < need {
+            scratch.tile.resize(need, 0.0);
+        }
+        (&mut scratch.tile, &mut scratch.codec)
+    }
+}
+
+impl ShardElement for f64 {
+    const DTYPE: DType = DType::F64;
+    fn encode_chunk(
+        codec: &dyn ErrorBoundedCodec,
+        data: &[Self],
+        eb: f64,
+        scratch: &mut CodecScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        codec.encode_f64(data, eb, scratch, out)
+    }
+    fn decode_chunk_blocks(
+        codec: &dyn ErrorBoundedCodec,
+        stream: &[u8],
+        blocks: Range<usize>,
+        scratch: &mut CodecScratch,
+        out: &mut [Self],
+    ) -> Result<usize, StoreError> {
+        codec.decode_blocks_f64(stream, blocks, scratch, out)
+    }
+    fn tile_and_codec(scratch: &mut StoreScratch, need: usize) -> (&mut [Self], &mut CodecScratch) {
+        if scratch.tile64.len() < need {
+            scratch.tile64.resize(need, 0.0);
+        }
+        (&mut scratch.tile64, &mut scratch.codec)
+    }
 }
 
 impl StoreScratch {
@@ -59,23 +158,24 @@ fn c_strides(dims: &[usize], out: &mut [usize; MAX_DIMS]) {
     }
 }
 
-fn grow(buf: &mut Vec<f32>, need: usize) -> &mut [f32] {
-    if buf.len() < need {
-        buf.resize(need, 0.0);
-    }
-    buf
-}
-
 /// Compress `data` (C-order, `shape`) into a self-contained shard:
 /// chunks of `chunk_shape` (edge chunks clamp), each encoded by `codec`
-/// at absolute bound `eb`, followed by the index and footer.
-pub fn write_shard(
-    data: &[f32],
+/// at absolute bound `eb`, followed by the index and footer. The
+/// element type (`f32` or `f64`) is recorded in the index; the codec
+/// must support it ([`StoreError::UnsupportedDtype`] otherwise).
+pub fn write_shard<T: ShardElement>(
+    data: &[T],
     shape: &[usize],
     chunk_shape: &[usize],
     codec: &dyn ErrorBoundedCodec,
     eb: f64,
 ) -> Result<Vec<u8>, StoreError> {
+    if !codec.supports_dtype(T::DTYPE) {
+        return Err(StoreError::UnsupportedDtype {
+            codec: codec.name(),
+            dtype: T::DTYPE,
+        });
+    }
     let ndim = shape.len();
     if ndim == 0 || ndim > MAX_DIMS || chunk_shape.len() != ndim {
         return Err(StoreError::Shape("rank must be 1..=8, shapes same rank"));
@@ -99,7 +199,7 @@ pub fn write_shard(
     let mut out = Vec::new();
     let mut entries = Vec::with_capacity(num_chunks);
     let mut scratch = CodecScratch::new();
-    let mut gathered = Vec::new();
+    let mut gathered: Vec<T> = Vec::new();
     let mut frame = Vec::new();
     let mut cc = [0usize; MAX_DIMS];
     for _ in 0..num_chunks {
@@ -129,7 +229,7 @@ pub fn write_shard(
                 lc[axis] = 0;
             }
         }
-        codec.encode(&gathered, eb, &mut scratch, &mut frame);
+        T::encode_chunk(codec, &gathered, eb, &mut scratch, &mut frame)?;
         entries.push(ChunkEntry {
             offset: out.len() as u64,
             len: frame.len() as u64,
@@ -149,16 +249,43 @@ pub fn write_shard(
     ShardIndex {
         shape: shape.to_vec(),
         chunk_shape: chunk_shape.to_vec(),
+        dtype: T::DTYPE,
         entries,
     }
     .append_to(&mut out);
     Ok(out)
 }
 
-/// An opened shard: borrowed bytes plus the validated index.
+/// Where an opened shard's bytes live: borrowed from the caller, or a
+/// file mapping the shard owns ([`Shard::open_path`]).
+enum ShardBytes<'a> {
+    Borrowed(&'a [u8]),
+    Mapped(datasets::mmap::MappedSlice<u8>),
+}
+
+impl ShardBytes<'_> {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            ShardBytes::Borrowed(b) => b,
+            ShardBytes::Mapped(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardBytes<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardBytes::Borrowed(b) => write!(f, "Borrowed({} bytes)", b.len()),
+            ShardBytes::Mapped(m) => write!(f, "Mapped({} bytes)", m.len()),
+        }
+    }
+}
+
+/// An opened shard: the backing bytes (borrowed or mapped) plus the
+/// validated index.
 #[derive(Debug)]
 pub struct Shard<'a> {
-    bytes: &'a [u8],
+    bytes: ShardBytes<'a>,
     index: ShardIndex,
 }
 
@@ -168,7 +295,24 @@ impl<'a> Shard<'a> {
     /// frame bytes stay borrowed — nothing is copied or decoded here.
     pub fn open(bytes: &'a [u8]) -> Result<Shard<'a>, StoreError> {
         let index = ShardIndex::parse(bytes)?;
-        Ok(Shard { bytes, index })
+        Ok(Shard {
+            bytes: ShardBytes::Borrowed(bytes),
+            index,
+        })
+    }
+
+    /// Open a shard file by memory-mapping it (owned-buffer fallback on
+    /// platforms without `mmap`; contents identical either way). Frames
+    /// decode straight out of the page cache, so the zero-alloc and
+    /// copy-free read properties of [`Shard::open`] carry over
+    /// unchanged. I/O failures surface as [`StoreError::Io`].
+    pub fn open_path(path: &Path) -> Result<Shard<'static>, StoreError> {
+        let bytes = datasets::mmap::map_bytes(path)?;
+        let index = ShardIndex::parse(&bytes)?;
+        Ok(Shard {
+            bytes: ShardBytes::Mapped(bytes),
+            index,
+        })
     }
 
     /// The validated index.
@@ -194,14 +338,22 @@ impl<'a> Shard<'a> {
     /// chunk only the codec blocks overlapping the region's rows are
     /// decoded — the returned [`ReadStats`] account for exactly that.
     /// With a warm `scratch` the call performs zero heap allocations.
-    pub fn read_region(
+    /// `T` must match the shard's recorded dtype
+    /// ([`StoreError::DtypeMismatch`] otherwise).
+    pub fn read_region<T: ShardElement>(
         &self,
         registry: &CodecRegistry,
         origin: &[usize],
         extent: &[usize],
         scratch: &mut StoreScratch,
-        out: &mut [f32],
+        out: &mut [T],
     ) -> Result<ReadStats, StoreError> {
+        if self.index.dtype != T::DTYPE {
+            return Err(StoreError::DtypeMismatch {
+                stored: self.index.dtype,
+                requested: T::DTYPE,
+            });
+        }
         let ndim = self.index.shape.len();
         let shape = &self.index.shape;
         let chunk_shape = &self.index.chunk_shape;
@@ -270,7 +422,7 @@ impl<'a> Shard<'a> {
 
     /// Decode the parts of chunk `cc` that overlap `[origin, origin+extent)`.
     #[allow(clippy::too_many_arguments)]
-    fn read_chunk_overlap(
+    fn read_chunk_overlap<T: ShardElement>(
         &self,
         registry: &CodecRegistry,
         origin: &[usize],
@@ -279,7 +431,7 @@ impl<'a> Shard<'a> {
         grid_strides: &[usize; MAX_DIMS],
         out_strides: &[usize; MAX_DIMS],
         scratch: &mut StoreScratch,
-        out: &mut [f32],
+        out: &mut [T],
         stats: &mut ReadStats,
     ) -> Result<(), StoreError> {
         let ndim = self.index.shape.len();
@@ -295,6 +447,7 @@ impl<'a> Shard<'a> {
             .ok_or(StoreError::UnknownCodec(entry.format_id))?;
         let frame = self
             .bytes
+            .as_slice()
             .get(entry.offset as usize..(entry.offset + entry.len) as usize)
             .ok_or(StoreError::Truncated)?;
         let chunk_n = entry.num_elements as usize;
@@ -336,9 +489,9 @@ impl<'a> Shard<'a> {
             let b0 = start / l;
             let b1 = end.div_ceil(l);
             let covered = (b1 * l).min(chunk_n) - b0 * l;
-            let tile = grow(&mut scratch.tile, covered);
+            let (tile, codec_scratch) = T::tile_and_codec(scratch, covered);
             let read =
-                codec.decode_blocks(frame, b0..b1, &mut scratch.codec, &mut tile[..covered])?;
+                T::decode_chunk_blocks(codec, frame, b0..b1, codec_scratch, &mut tile[..covered])?;
             stats.blocks_decoded += b1 - b0;
             stats.payload_bytes_read += read;
             out[out_off..out_off + (end - start)]
@@ -364,11 +517,11 @@ impl<'a> Shard<'a> {
 
     /// Read the whole array (`out.len()` must equal
     /// [`Shard::num_elements`]).
-    pub fn read_all(
+    pub fn read_all<T: ShardElement>(
         &self,
         registry: &CodecRegistry,
         scratch: &mut StoreScratch,
-        out: &mut [f32],
+        out: &mut [T],
     ) -> Result<ReadStats, StoreError> {
         let origin = [0usize; MAX_DIMS];
         self.read_region(
@@ -385,6 +538,7 @@ impl<'a> Shard<'a> {
 mod tests {
     use super::*;
     use crate::codec::{CuszpCodec, CuszxCodec, CuzfpCodec};
+    use cuszp_core::DType;
 
     fn field2d(h: usize, w: usize) -> Vec<f32> {
         (0..h * w)
@@ -510,7 +664,7 @@ mod tests {
         ));
         // Empty extent: fine, zero stats.
         let stats = shard
-            .read_region(&registry, &[0], &[0], &mut scratch, &mut [])
+            .read_region::<f32>(&registry, &[0], &[0], &mut scratch, &mut [])
             .unwrap();
         assert_eq!(stats, ReadStats::default());
     }
@@ -534,6 +688,77 @@ mod tests {
             write_shard(&data, &[], &[], &CuszpCodec, 0.1),
             Err(StoreError::Shape(_))
         ));
+    }
+
+    #[test]
+    fn f64_shard_roundtrips_through_cuszp_and_hybrid() {
+        let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.013).sin() * 5.0).collect();
+        let registry = CodecRegistry::with_defaults();
+        let eb = 1e-6;
+        for id in [*b"CZP1", *b"CZH1"] {
+            let codec = registry.get(id).unwrap();
+            let shard_bytes = write_shard(&data, &[4096], &[1000], codec, eb).unwrap();
+            let shard = Shard::open(&shard_bytes).unwrap();
+            assert_eq!(shard.index().dtype, DType::F64);
+            let mut scratch = StoreScratch::new();
+            let mut out = vec![0f64; 4096];
+            shard.read_all(&registry, &mut scratch, &mut out).unwrap();
+            for (i, (&d, &r)) in data.iter().zip(&out).enumerate() {
+                assert!(
+                    (d - r).abs() <= eb * (1.0 + 1e-12) + 1e-12,
+                    "{} idx {i}: {d} vs {r}",
+                    codec.name()
+                );
+            }
+            // Reading it back as f32 is a typed dtype mismatch, caught
+            // before any chunk is touched.
+            let mut wrong = vec![0f32; 4096];
+            assert_eq!(
+                shard.read_all(&registry, &mut scratch, &mut wrong),
+                Err(StoreError::DtypeMismatch {
+                    stored: DType::F64,
+                    requested: DType::F32,
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn f64_write_through_unsupporting_codec_is_typed() {
+        let data = vec![1.0f64; 256];
+        assert_eq!(
+            write_shard(&data, &[256], &[128], &CuszxCodec, 0.1),
+            Err(StoreError::UnsupportedDtype {
+                codec: "cuszx",
+                dtype: DType::F64,
+            })
+        );
+    }
+
+    #[test]
+    fn open_path_reads_match_in_memory_open() {
+        let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).cos() * 4.0).collect();
+        let registry = CodecRegistry::with_defaults();
+        let codec = registry.get(*b"CZH1").unwrap();
+        let shard_bytes = write_shard(&data, &[2048], &[512], codec, 1e-4).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("cuszp_store_mmap_{}.shard", std::process::id()));
+        std::fs::write(&path, &shard_bytes).unwrap();
+        let mapped = Shard::open_path(&path).unwrap();
+        let mut scratch = StoreScratch::new();
+        let mut via_file = vec![0f32; 2048];
+        mapped
+            .read_all(&registry, &mut scratch, &mut via_file)
+            .unwrap();
+        let borrowed = Shard::open(&shard_bytes).unwrap();
+        let mut via_mem = vec![0f32; 2048];
+        borrowed
+            .read_all(&registry, &mut scratch, &mut via_mem)
+            .unwrap();
+        assert_eq!(via_file, via_mem);
+        drop(mapped);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(Shard::open_path(&path), Err(StoreError::Io(_))));
     }
 
     #[test]

@@ -71,6 +71,54 @@ fn warm_partial_reads_allocate_nothing() {
     }
 }
 
+/// The mmap-backed path has the same contract: once warm, region reads
+/// off a [`Shard::open_path`] shard perform zero heap operations — page
+/// faults are the kernel's business, not the allocator's.
+#[test]
+fn warm_mmap_reads_allocate_nothing() {
+    let data: Vec<f32> = (0..60_000)
+        .map(|i| (i as f32 * 0.0017).sin() * 21.0)
+        .collect();
+    let registry = CodecRegistry::with_defaults();
+
+    for codec in registry.codecs() {
+        let bytes = write_shard(&data, &[60_000], &[4096], codec, 1e-3).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "cuszp_zero_alloc_mmap_{}_{}.shard",
+            std::process::id(),
+            codec.name()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        let shard = Shard::open_path(&path).unwrap();
+        let mut scratch = StoreScratch::new();
+        let mut out = vec![0f32; data.len()];
+        shard.read_all(&registry, &mut scratch, &mut out).unwrap();
+
+        let l = codec.block_len();
+        let mut small = vec![0f32; l];
+        let ops = heap_ops_of(|| {
+            shard
+                .read_region(&registry, &[4096 + 128], &[l], &mut scratch, &mut small)
+                .unwrap();
+            shard.read_all(&registry, &mut scratch, &mut out).unwrap();
+        });
+        assert_eq!(
+            ops,
+            0,
+            "warm mmap reads must not touch the heap (codec {})",
+            codec.name()
+        );
+        assert_eq!(
+            &small[..],
+            &out[4096 + 128..4096 + 128 + l],
+            "codec {}",
+            codec.name()
+        );
+        drop(shard);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
 #[test]
 fn warm_2d_region_reads_allocate_nothing() {
     let (h, w) = (256, 512);

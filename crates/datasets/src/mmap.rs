@@ -179,6 +179,24 @@ pub fn map_f32_le(path: &Path) -> io::Result<MappedSlice<f32>> {
     })
 }
 
+/// Map any file as a zero-copy byte view (no length constraint) — the
+/// backing for `Shard::open_path`-style consumers that parse their own
+/// structure out of the raw bytes.
+pub fn map_bytes(path: &Path) -> io::Result<MappedSlice<u8>> {
+    let (file, bytes) = open_sized(path, 1)?;
+    #[cfg(all(unix, target_endian = "little"))]
+    if let Some(m) = try_map::<u8>(&file, bytes) {
+        return Ok(m);
+    }
+    drop((file, bytes));
+    let data = std::fs::read(path)?;
+    let len = data.len();
+    Ok(MappedSlice {
+        backing: Backing::Owned(data),
+        len,
+    })
+}
+
 /// Map a raw little-endian `f64` file as a zero-copy slice view (length
 /// must be a multiple of 8).
 pub fn map_f64_le(path: &Path) -> io::Result<MappedSlice<f64>> {
@@ -243,6 +261,19 @@ mod tests {
         let view = map_f32_le(&path).unwrap();
         assert!(view.is_empty());
         assert!(!view.is_mapped()); // len-0 mappings are EINVAL; fallback
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn byte_view_matches_fs_read() {
+        let path = tmp("view.bytes");
+        let data: Vec<u8> = (0..=255u8).cycle().take(1001).collect(); // odd length on purpose
+        std::fs::write(&path, &data).unwrap();
+        let view = map_bytes(&path).unwrap();
+        assert_eq!(&*view, &data[..]);
+        #[cfg(all(unix, target_endian = "little"))]
+        assert!(view.is_mapped(), "unix host should take the mmap path");
+        drop(view);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -17,6 +17,7 @@ pub mod fig21_kernel_breakdown;
 pub mod fig22_time_varying;
 pub mod gpus;
 pub mod host_codec;
+pub mod hybrid_ratio;
 pub mod partial_read;
 pub mod pipeline_scaling;
 pub mod rate_distortion;
@@ -145,6 +146,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "partial_read",
             "Block-granular random access: bytes touched and latency vs read size",
             partial_read::run as Runner,
+        ),
+        (
+            "hybrid_ratio",
+            "Hybrid second stage: ratio and throughput per entropy mode",
+            hybrid_ratio::run as Runner,
         ),
         (
             "service_load",

@@ -93,6 +93,7 @@ fn tenant(cap: u32) -> Tenant {
         dtype: DType::F32,
         bound: ErrorBound::Abs(1e-2),
         max_payload: cap,
+        hybrid: false,
     }
 }
 

@@ -11,6 +11,11 @@
 //! * cuSZ sits in a narrow 8–31 band (entropy-coding floor ≈ 1 bit/value,
 //!   codebook + outlier overhead).
 //! * Every compressor's CR decreases monotonically as the bound tightens.
+//!
+//! A fourth, informational compressor — `cuSZp-hybrid`, the opt-in
+//! `CUSZPHY1` entropy second stage — is measured alongside but excluded
+//! from the win tallies, which compare the paper's fixed-length
+//! compressors.
 
 use super::Ctx;
 use crate::error_bounded_compressors;
@@ -106,6 +111,38 @@ pub fn measure(ctx: &Ctx) -> Vec<Cell> {
                 });
             }
         }
+        // The opt-in CUSZPHY1 second stage, as shipped (whole-frame
+        // fallback keeps it >= plain cuSZp). Informational cells only:
+        // excluded from the win tallies below, since the paper's Table 3
+        // compares the fixed-length compressors.
+        let hybrid_codec = cuszp_core::Cuszp::with_config(cuszp_core::CuszpConfig {
+            hybrid: true,
+            ..cuszp_core::CuszpConfig::default()
+        });
+        for bound in bounds.iter() {
+            let rel = match bound {
+                ErrorBound::Rel(r) => *r,
+                ErrorBound::Abs(_) => unreachable!("paper set is REL"),
+            };
+            let ratios: Vec<f64> = fields
+                .iter()
+                .map(|field| {
+                    let eb = bound.absolute(field.value_range() as f64);
+                    let stream = hybrid_codec.compress_serialized(&field.data, ErrorBound::Abs(eb));
+                    field.size_bytes() as f64 / stream.len() as f64
+                })
+                .collect();
+            let summary = RatioSummary::of(&ratios);
+            cells.push(Cell {
+                compressor: "cuSZp-hybrid".to_string(),
+                dataset: id.name().to_string(),
+                rel,
+                min: summary.min,
+                max: summary.max,
+                avg: summary.avg,
+                paper_avg: None,
+            });
+        }
     }
     cells
 }
@@ -119,7 +156,7 @@ pub fn run(ctx: &Ctx) {
     );
     let cells = measure(ctx);
 
-    for comp in ["cuSZp", "cuSZ", "cuSZx"] {
+    for comp in ["cuSZp", "cuSZp-hybrid", "cuSZ", "cuSZx"] {
         report.line(&format!("\n{comp}"));
         let mut rows = Vec::new();
         for id in DatasetId::all() {
@@ -148,7 +185,9 @@ pub fn run(ctx: &Ctx) {
         for rel in [1e-1, 1e-2, 1e-3, 1e-4] {
             let best = cells
                 .iter()
-                .filter(|c| c.dataset == id.name() && c.rel == rel)
+                .filter(|c| {
+                    c.dataset == id.name() && c.rel == rel && c.compressor != "cuSZp-hybrid"
+                })
                 .max_by(|a, b| a.avg.partial_cmp(&b.avg).expect("finite"))
                 .expect("cells exist");
             if best.compressor == "cuSZp" {
@@ -179,6 +218,7 @@ pub fn run(ctx: &Ctx) {
                 .filter(|c| {
                     c.dataset == id.name()
                         && c.rel == rel
+                        && c.compressor != "cuSZp-hybrid"
                         && (cusz_survived || c.compressor != "cuSZ")
                 })
                 .max_by(|a, b| a.avg.partial_cmp(&b.avg).expect("finite"))

@@ -35,6 +35,7 @@ fn main() {
         dtype: DType::F32,
         bound: ErrorBound::Abs(1e-2),
         max_payload: (elems * 4) as u32,
+        hybrid: false,
     };
     let mut client = Client::connect(server.addr(), tenant).expect("connect");
     println!(

@@ -5,8 +5,8 @@
 //! validation. Registering a new codec makes it subject to this suite
 //! with zero test changes.
 
-use cuszp_repro::cuszp_core::value_range;
-use cuszp_repro::cuszp_store::{CodecRegistry, CodecScratch, ErrorBoundedCodec};
+use cuszp_repro::cuszp_core::{value_range, DType};
+use cuszp_repro::cuszp_store::{CodecRegistry, CodecScratch, ErrorBoundedCodec, StoreError};
 
 /// Narrowing the f64 reconstruction to f32 costs up to a ULP of the
 /// value; every bound check allows that slop on top of `eb`.
@@ -103,6 +103,57 @@ fn rel_bound_contract() {
                 assert!(
                     err <= eb * (1.0 + 1e-6) + slack(d) + slack(r),
                     "{} / {name} rel {rel} idx {i}: |{d} - {r}| = {err}",
+                    codec.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn f64_bound_contract() {
+    // f64 is opt-in: codecs that claim it must honor the same ABS
+    // contract on wide-range doubles; codecs that don't must fail with
+    // the typed error, not silently narrow.
+    let registry = CodecRegistry::with_defaults();
+    let mut scratch = CodecScratch::new();
+    let data: Vec<f64> = (0..3000)
+        .map(|i| (i as f64 * 0.013).sin() * 1.0e7 + (i as f64 * 0.11).cos())
+        .collect();
+    let eb = 1e-2;
+    for codec in registry.codecs() {
+        let mut frame = Vec::new();
+        if !codec.supports_dtype(DType::F64) {
+            assert!(
+                matches!(
+                    codec.encode_f64(&data, eb, &mut scratch, &mut frame),
+                    Err(StoreError::UnsupportedDtype { .. })
+                ),
+                "{}: must reject f64 with the typed error",
+                codec.name()
+            );
+            continue;
+        }
+        codec
+            .encode_f64(&data, eb, &mut scratch, &mut frame)
+            .expect("claimed dtype encodes");
+        assert_eq!(
+            codec.num_elements(&frame).expect("own frame parses"),
+            data.len(),
+            "{}: f64 frame element count",
+            codec.name()
+        );
+        let num_blocks = data.len().div_ceil(codec.block_len());
+        let mut out = vec![0f64; data.len()];
+        codec
+            .decode_blocks_f64(&frame, 0..num_blocks, &mut scratch, &mut out)
+            .expect("own f64 frame decodes");
+        if codec.is_error_bounded() {
+            for (i, (&d, &r)) in data.iter().zip(&out).enumerate() {
+                let err = (d - r).abs();
+                assert!(
+                    err <= eb * (1.0 + 1e-6) + d.abs() * f64::EPSILON + f64::EPSILON,
+                    "{} f64 idx {i}: |{d} - {r}| = {err}",
                     codec.name()
                 );
             }

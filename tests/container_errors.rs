@@ -8,9 +8,11 @@
 //! can still name and construct the variants — `#[non_exhaustive]` on an
 //! enum restricts exhaustive matching, not variant construction.)
 
-use cuszp_repro::cuszp_core::{Compressed, CompressedRef, Cuszp, ErrorBound, FormatError};
+use cuszp_repro::cuszp_core::{
+    hybrid, Compressed, CompressedRef, Cuszp, CuszpConfig, ErrorBound, FormatError,
+};
 use cuszp_repro::cuszp_store::{
-    write_shard, CodecRegistry, CuszpCodec, Shard, StoreError, StoreScratch,
+    write_shard, CodecRegistry, CuszpCodec, CuszxCodec, Shard, StoreError, StoreScratch,
 };
 use std::collections::BTreeSet;
 
@@ -22,6 +24,8 @@ fn format_variant(e: &FormatError) -> &'static str {
         FormatError::BadMagic => "BadMagic",
         FormatError::Truncated => "Truncated",
         FormatError::Corrupt(_) => "Corrupt",
+        FormatError::UnknownHybridMode(_) => "UnknownHybridMode",
+        FormatError::Entropy(_) => "Entropy",
         _ => "future",
     }
 }
@@ -36,6 +40,9 @@ fn store_variant(e: &StoreError) -> &'static str {
         StoreError::UnknownCodec(_) => "UnknownCodec",
         StoreError::Frame(_) => "Frame",
         StoreError::Shape(_) => "Shape",
+        StoreError::DtypeMismatch { .. } => "DtypeMismatch",
+        StoreError::UnsupportedDtype { .. } => "UnsupportedDtype",
+        StoreError::Io(_) => "Io",
         _ => "future",
     }
 }
@@ -94,9 +101,49 @@ fn every_format_error_variant_is_reachable_from_bytes() {
             .expect_err("payload size must fail"),
     ));
 
+    // The hybrid second stage's variants need a CUSZPHY1 frame. All-zero
+    // data yields F = 0 blocks, so the frame is genuinely hybrid (the
+    // constant-chunk flush wins over the fixed-length fallback).
+    let hybrid_codec = Cuszp::with_config(CuszpConfig {
+        hybrid: true,
+        ..CuszpConfig::default()
+    });
+    let zeros = vec![0.0f32; 100_000];
+    let hy = hybrid_codec.compress_serialized(&zeros, ErrorBound::Abs(1e-3));
+    assert!(
+        hy.starts_with(&hybrid::HYBRID_MAGIC),
+        "frame must be hybrid"
+    );
+    // UnknownHybridMode: the first chunk's mode byte set to an undefined
+    // value — rejected at parse, before any payload is trusted.
+    let mut bad = hy.clone();
+    bad[hybrid::HYBRID_HEADER_BYTES] = 9;
+    seen.insert(format_variant(
+        &hybrid_codec
+            .decompress_serialized::<f32>(&bad)
+            .expect_err("unknown mode byte must fail"),
+    ));
+    // Entropy: a constant chunk relabeled RLE — the table still
+    // validates (comp < raw), but the 1-byte payload is not a legal RLE
+    // stream, so decode fails typed inside the entropy coder.
+    let mut bad = hy;
+    assert_eq!(bad[hybrid::HYBRID_HEADER_BYTES], 1, "chunk 0 is constant");
+    bad[hybrid::HYBRID_HEADER_BYTES] = 2;
+    seen.insert(format_variant(
+        &hybrid_codec
+            .decompress_serialized::<f32>(&bad)
+            .expect_err("truncated rle chunk must fail"),
+    ));
+
     assert_eq!(
         seen.into_iter().collect::<Vec<_>>(),
-        vec!["BadMagic", "Corrupt", "Truncated"],
+        vec![
+            "BadMagic",
+            "Corrupt",
+            "Entropy",
+            "Truncated",
+            "UnknownHybridMode"
+        ],
         "every FormatError variant must be reachable from bytes"
     );
 }
@@ -113,8 +160,9 @@ fn every_store_error_variant_is_reachable_from_bytes() {
     // Locate the index: footer's first 8 bytes hold its offset.
     let index_offset =
         u64::from_le_bytes(good[good.len() - 16..good.len() - 8].try_into().unwrap()) as usize;
-    // 1-D index: magic(8) + ndim(1) + shape(8) + chunk_shape(8) + count(4).
-    let entries = index_offset + 29;
+    // 1-D index: magic(8) + ndim(1) + dtype(1) + shape(8) + chunk_shape(8)
+    // + count(4).
+    let entries = index_offset + 30;
 
     // Truncated: empty shard.
     seen.insert(store_variant(&Shard::open(&[]).unwrap_err()));
@@ -162,18 +210,49 @@ fn every_store_error_variant_is_reachable_from_bytes() {
             .read_region(&registry, &[0, 0], &[2, 2], &mut scratch, &mut out)
             .unwrap_err(),
     ));
+    // DtypeMismatch: the index's dtype byte flipped to f64 — an f32 read
+    // is refused before any chunk is touched.
+    let mut bad = good.clone();
+    bad[index_offset + 9] = 1; // dtype byte: f64
+    let shard = Shard::open(&bad).expect("f64 is a valid dtype byte");
+    seen.insert(store_variant(
+        &shard
+            .read_all(&registry, &mut scratch, &mut out)
+            .unwrap_err(),
+    ));
+    // UnsupportedDtype: a cuSZx shard whose index dtype byte claims f64 —
+    // the codec has no f64 path, so an f64 read fails typed at the first
+    // chunk.
+    let xgood = write_shard(&data, &[256], &[64], &CuszxCodec, 1e-3).unwrap();
+    let xindex =
+        u64::from_le_bytes(xgood[xgood.len() - 16..xgood.len() - 8].try_into().unwrap()) as usize;
+    let mut bad = xgood.clone();
+    bad[xindex + 9] = 1; // dtype byte: f64
+    let shard = Shard::open(&bad).expect("index itself is intact");
+    let mut out64 = vec![0f64; 256];
+    seen.insert(store_variant(
+        &shard
+            .read_all(&registry, &mut scratch, &mut out64)
+            .unwrap_err(),
+    ));
+    // Io: opening a path that does not exist.
+    let missing = std::env::temp_dir().join(format!("cuszp_missing_{}.shard", std::process::id()));
+    seen.insert(store_variant(&Shard::open_path(&missing).unwrap_err()));
 
     assert_eq!(
         seen.into_iter().collect::<Vec<_>>(),
         vec![
             "BadMagic",
             "Corrupt",
+            "DtypeMismatch",
             "Frame",
             "IndexOutOfBounds",
             "IndexOverlap",
+            "Io",
             "Shape",
             "Truncated",
             "UnknownCodec",
+            "UnsupportedDtype",
         ],
         "every StoreError variant must be reachable from bytes"
     );

@@ -47,7 +47,7 @@ fn equivalence_holds_for_nondefault_configs() {
         let codec = Cuszp::with_config(CuszpConfig {
             block_len,
             lorenzo,
-            simd: None,
+            ..CuszpConfig::default()
         });
         let eb = codec.resolve_bound(&field.data, ErrorBound::Rel(1e-2));
         let host_stream = host_ref::compress(&field.data, eb, codec.config);

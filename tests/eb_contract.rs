@@ -3,7 +3,7 @@
 //! absolute and relative bounds, and the awkward lengths that stress
 //! partial blocks (0, 1, L−1, L, L+1, non-multiples of L).
 
-use cuszp_repro::cuszp_core::{Cuszp, ErrorBound};
+use cuszp_repro::cuszp_core::{Cuszp, CuszpConfig, ErrorBound};
 use proptest::prelude::*;
 
 /// Lengths around the default block size L = 32 plus non-multiples.
@@ -123,6 +123,58 @@ proptest! {
         // Zero blocks are the format's best case: F = 0, no payload.
         prop_assert_eq!(c.stream_bytes(), c.num_blocks() as u64);
         check_f32(&data, eb)?;
+    }
+
+    /// The lossless second stage cannot change the contract: with
+    /// `hybrid: true` the serialized round trip obeys the same bound,
+    /// and never costs more bytes than the plain stream.
+    #[test]
+    fn hybrid_stage_preserves_the_bound_f32(
+        n in awkward_len(),
+        scale in 0.1f32..100.0,
+        eb in eb_abs(),
+    ) {
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.23).sin() * scale).collect();
+        let plain = Cuszp::new();
+        let hybrid = Cuszp::with_config(CuszpConfig {
+            hybrid: true,
+            ..CuszpConfig::default()
+        });
+        let hy = hybrid.compress_serialized(&data, ErrorBound::Abs(eb));
+        prop_assert!(
+            hy.len() <= plain.compress_serialized(&data, ErrorBound::Abs(eb)).len(),
+            "hybrid serialization must never be larger than plain"
+        );
+        let back: Vec<f32> = hybrid.decompress_serialized(&hy).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        for (i, (&d, &r)) in data.iter().zip(&back).enumerate() {
+            let err = (d as f64 - r as f64).abs();
+            prop_assert!(
+                err <= eb * (1.0 + 1e-6) + ulp_slack_f32(d) + f64::EPSILON,
+                "element {i}: |{d} - {r}| = {err} > eb {eb} (hybrid)"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_stage_preserves_the_bound_f64(
+        n in awkward_len(),
+        scale in 0.1f64..1e6,
+        eb in eb_abs(),
+    ) {
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).cos() * scale).collect();
+        let hybrid = Cuszp::with_config(CuszpConfig {
+            hybrid: true,
+            ..CuszpConfig::default()
+        });
+        let hy = hybrid.compress_serialized(&data, ErrorBound::Abs(eb));
+        let back: Vec<f64> = hybrid.decompress_serialized(&hy).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        for (&d, &r) in data.iter().zip(&back) {
+            prop_assert!(
+                (d - r).abs() <= eb * (1.0 + 1e-6) + d.abs() * f64::EPSILON + f64::EPSILON
+            );
+        }
     }
 
     #[test]
