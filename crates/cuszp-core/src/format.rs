@@ -66,6 +66,16 @@ pub enum FormatError {
     /// A `CUSZPHY1` chunk failed entropy decoding: the compressed bytes
     /// are inconsistent with the recorded mode or raw length.
     Entropy(&'static str),
+    /// The stream's claimed decoded size exceeds a caller-supplied
+    /// limit ([`crate::Cuszp::decompress_serialized_bounded`]). Raised
+    /// *before* any output allocation, so an untrusted stream cannot
+    /// command memory just by naming a huge element count.
+    LimitExceeded {
+        /// Elements the stream claims to decode to.
+        claimed: u64,
+        /// The caller's element limit.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for FormatError {
@@ -78,6 +88,12 @@ impl std::fmt::Display for FormatError {
                 write!(f, "unknown hybrid chunk mode byte {m}")
             }
             FormatError::Entropy(why) => write!(f, "hybrid chunk corrupt: {why}"),
+            FormatError::LimitExceeded { claimed, limit } => {
+                write!(
+                    f,
+                    "claimed element count {claimed} exceeds caller limit {limit}"
+                )
+            }
         }
     }
 }

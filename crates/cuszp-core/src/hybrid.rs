@@ -61,6 +61,13 @@ pub const TABLE_ENTRY_BYTES: usize = 9;
 /// keeps the raw chunk around the coders' sweet spot (tens of KiB) while
 /// the 9-byte table entry stays ≪ 0.1% overhead.
 pub const DEFAULT_CHUNK_BLOCKS: usize = 256;
+/// Largest `chunk_blocks` the wire format admits. Together with the
+/// `u32` raw-size invariant this caps how much geometry a header can
+/// claim per stored table entry, so a tiny untrusted frame cannot
+/// command multi-gigabyte scratch or output allocations just by naming
+/// an absurd chunk shape. 2²⁰ blocks is ~4096× the default and far
+/// beyond any useful access granularity.
+pub const MAX_CHUNK_BLOCKS: usize = 1 << 20;
 
 /// Reusable buffer for chunk staging. Capacity only grows, so encode and
 /// decode loops reach a zero-allocation steady state like
@@ -130,8 +137,10 @@ pub fn encode(
 ///
 /// # Panics
 /// Panics if `r` is not structurally valid ([`CompressedRef::validate`]),
-/// or if `chunk_blocks` is zero or its raw chunk size cannot be indexed
-/// by the table's `u32` fields.
+/// or if `chunk_blocks` is zero, exceeds [`MAX_CHUNK_BLOCKS`], or its
+/// raw chunk size cannot be indexed by the table's `u32` fields — the
+/// same limits [`HybridRef::parse`] enforces, so every encoded frame
+/// parses.
 pub fn encode_with(
     r: &CompressedRef<'_>,
     chunk_blocks: usize,
@@ -141,6 +150,10 @@ pub fn encode_with(
 ) {
     r.validate().expect("hybrid encode requires a valid stream");
     assert!(chunk_blocks >= 1, "chunk_blocks must be positive");
+    assert!(
+        chunk_blocks <= MAX_CHUNK_BLOCKS,
+        "chunk_blocks exceeds MAX_CHUNK_BLOCKS"
+    );
     assert!(
         max_chunk_raw_bytes(r.dtype, r.block_len as usize, chunk_blocks) <= u32::MAX as usize,
         "chunk raw size must fit the table's u32"
@@ -209,10 +222,20 @@ impl<'a> HybridRef<'a> {
     ///
     /// Validation order (each check only runs once the previous passed):
     /// header length → magic → header field sanity (lorenzo, dtype,
-    /// block length, bound, chunk size) → chunk count vs geometry →
-    /// table bounds → per-entry mode byte and length invariants → exact
+    /// block length, bound, chunk size incl. [`MAX_CHUNK_BLOCKS`] and
+    /// the `u32` raw-size invariant, element count addressability) →
+    /// chunk count vs geometry → table bounds → per-entry mode byte and
+    /// length invariants (`raw_len` bounded by the chunk's **actual**
+    /// block count, never the header's nominal `chunk_blocks`) → exact
     /// payload size. Every rejection is a typed [`FormatError`]; nothing
     /// panics on malformed bytes.
+    ///
+    /// A frame that parses is internally consistent, but its claimed
+    /// decoded size can still legitimately dwarf the physical input
+    /// (Constant chunks store one byte). Consumers of untrusted bytes
+    /// must bound output allocation themselves — e.g. via
+    /// [`crate::Cuszp::decompress_serialized_bounded`] or a payload cap
+    /// checked against [`HybridRef::num_elements`] before allocating.
     pub fn parse(bytes: &'a [u8]) -> Result<HybridRef<'a>, FormatError> {
         if bytes.len() < HYBRID_HEADER_BYTES {
             return Err(FormatError::Truncated);
@@ -240,6 +263,17 @@ impl<'a> HybridRef<'a> {
         if chunk_blocks == 0 {
             return Err(FormatError::Corrupt("bad chunk size"));
         }
+        // Worst-case raw bytes per block (fixed-length byte + maximal
+        // Eq-2 payload), in u64 so the bound cannot itself overflow.
+        let per_block_worst = 1 + u64::from(cmp_bytes_for(64, block_len as usize));
+        if chunk_blocks as usize > MAX_CHUNK_BLOCKS
+            || u64::from(chunk_blocks) * per_block_worst > u64::from(u32::MAX)
+        {
+            return Err(FormatError::Corrupt("chunk size exceeds limit"));
+        }
+        if usize::try_from(num_elements).is_err() {
+            return Err(FormatError::Corrupt("element count exceeds address space"));
+        }
         let num_blocks = num_elements.div_ceil(u64::from(block_len));
         if u64::from(num_chunks) != num_blocks.div_ceil(u64::from(chunk_blocks)) {
             return Err(FormatError::Corrupt("chunk count vs geometry"));
@@ -251,16 +285,17 @@ impl<'a> HybridRef<'a> {
         let table = &bytes[HYBRID_HEADER_BYTES..HYBRID_HEADER_BYTES + table_bytes as usize];
         let payload = &bytes[HYBRID_HEADER_BYTES + table_bytes as usize..];
 
-        let worst_raw =
-            max_chunk_raw_bytes(dtype, block_len as usize, chunk_blocks as usize) as u64;
         let mut total_comp = 0u64;
         for c in 0..num_chunks as usize {
             let e = &table[c * TABLE_ENTRY_BYTES..(c + 1) * TABLE_ENTRY_BYTES];
             let mode = Mode::from_byte(e[0]).ok_or(FormatError::UnknownHybridMode(e[0]))?;
             let comp_len = u64::from(u32::from_le_bytes(e[1..5].try_into().expect("len")));
             let raw_len = u64::from(u32::from_le_bytes(e[5..9].try_into().expect("len")));
+            // Bound raw_len by the chunk's *actual* block count — the
+            // nominal `chunk_blocks` would let a short (or lying) frame
+            // claim scratch far beyond what its geometry can decode to.
             let blocks_in_chunk = blocks_in_chunk(num_blocks, chunk_blocks, c as u64);
-            if raw_len < blocks_in_chunk || raw_len > worst_raw {
+            if raw_len < blocks_in_chunk || raw_len > blocks_in_chunk * per_block_worst {
                 return Err(FormatError::Corrupt("chunk raw length out of range"));
             }
             match mode {
@@ -275,7 +310,7 @@ impl<'a> HybridRef<'a> {
                     }
                 }
                 Mode::Rle | Mode::Huffman => {
-                    if comp_len >= raw_len {
+                    if comp_len == 0 || comp_len >= raw_len {
                         return Err(FormatError::Corrupt("coded chunk not smaller than raw"));
                     }
                 }
@@ -681,6 +716,107 @@ mod tests {
             HybridRef::parse(&b),
             Err(FormatError::Corrupt("trailing bytes"))
         );
+    }
+
+    /// Hand-build a frame with arbitrary header geometry and table
+    /// entries — the attacker's view of the wire format.
+    fn raw_frame(
+        num_elements: u64,
+        block_len: u32,
+        chunk_blocks: u32,
+        entries: &[(u8, u32, u32)],
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&HYBRID_MAGIC);
+        b.push(0); // lorenzo
+        b.push(0); // f32
+        b.extend_from_slice(&num_elements.to_le_bytes());
+        b.extend_from_slice(&block_len.to_le_bytes());
+        b.extend_from_slice(&1e-3f64.to_le_bytes());
+        b.extend_from_slice(&chunk_blocks.to_le_bytes());
+        b.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for &(mode, comp_len, raw_len) in entries {
+            b.push(mode);
+            b.extend_from_slice(&comp_len.to_le_bytes());
+            b.extend_from_slice(&raw_len.to_le_bytes());
+        }
+        b.extend_from_slice(payload);
+        b
+    }
+
+    #[test]
+    fn tiny_frame_cannot_claim_huge_chunk_geometry() {
+        // 48 bytes claiming u32::MAX blocks per chunk and a 4 GiB raw
+        // chunk behind a single stored byte: the chunk_blocks cap must
+        // reject it at parse, before any decode path can allocate.
+        let n = u64::from(u32::MAX) * 32; // num_blocks = u32::MAX, 1 chunk
+        let b = raw_frame(n, 32, u32::MAX, &[(1, 1, u32::MAX)], &[0]);
+        assert_eq!(b.len(), 48);
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("chunk size exceeds limit"))
+        );
+    }
+
+    #[test]
+    fn raw_len_is_bounded_by_actual_chunk_blocks() {
+        // One real block (n = 32, L = 32) in a nominal 256-block chunk:
+        // raw_len must honor the actual block count (≤ 1 · (1 + 256)),
+        // not the nominal worst case (256 · 257) the old bound allowed.
+        let b = raw_frame(32, 32, 256, &[(1, 1, 10_000)], &[0]);
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("chunk raw length out of range"))
+        );
+    }
+
+    #[test]
+    fn empty_coded_chunks_rejected() {
+        let b = raw_frame(32, 32, 256, &[(2, 0, 1)], &[]);
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("coded chunk not smaller than raw"))
+        );
+    }
+
+    #[test]
+    fn bounded_decompress_rejects_oversize_claims_before_allocating() {
+        // A parse-clean constant frame legitimately claiming 2^25
+        // elements from ~48 physical bytes (all-zero blocks): the
+        // caller's element cap must stop it with a typed error.
+        let cb = MAX_CHUNK_BLOCKS as u32;
+        let n = u64::from(cb) * 32;
+        let b = raw_frame(n, 32, cb, &[(1, 1, cb)], &[0]);
+        let r = HybridRef::parse(&b).expect("internally consistent");
+        assert_eq!(r.num_elements, n);
+        let err = Cuszp::new()
+            .decompress_serialized_bounded::<f32>(&b, 1000)
+            .expect_err("claim exceeds cap");
+        assert_eq!(
+            err,
+            FormatError::LimitExceeded {
+                claimed: n,
+                limit: 1000
+            }
+        );
+        // The plain CUSZP1 branch honors the same cap.
+        let plain = Cuszp::new().compress_serialized(&wave(100), ErrorBound::Abs(1e-3));
+        let err = Cuszp::new()
+            .decompress_serialized_bounded::<f32>(&plain, 99)
+            .expect_err("plain claim exceeds cap");
+        assert_eq!(
+            err,
+            FormatError::LimitExceeded {
+                claimed: 100,
+                limit: 99
+            }
+        );
+        // At or under the cap both paths decode normally.
+        let ok: Vec<f32> = Cuszp::new()
+            .decompress_serialized_bounded(&plain, 100)
+            .unwrap();
+        assert_eq!(ok.len(), 100);
     }
 
     #[test]

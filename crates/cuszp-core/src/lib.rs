@@ -218,16 +218,19 @@ impl Cuszp {
     pub fn compress_serialized<T: FloatData>(&self, data: &[T], bound: ErrorBound) -> Vec<u8> {
         let eb = self.resolve_bound(data, bound);
         let c = fast::compress(data, eb, self.config);
-        let plain = c.to_bytes();
         if self.config.hybrid {
+            // Compare against the plain frame's *length* — materializing
+            // the plain serialization just to lose the comparison would
+            // double peak allocation for nothing.
+            let plain_len = c.as_ref().total_bytes();
             let mut hs = HybridScratch::new();
             let mut hy = Vec::new();
             hybrid::encode(&c.as_ref(), hybrid::DEFAULT_CHUNK_BLOCKS, &mut hs, &mut hy);
-            if hy.len() < plain.len() {
+            if (hy.len() as u64) < plain_len {
                 return hy;
             }
         }
-        plain
+        c.to_bytes()
     }
 
     /// Decompress serialized bytes produced by
@@ -235,12 +238,40 @@ impl Cuszp {
     /// frames run the single-pass hybrid decode, anything else parses as
     /// a plain `CUSZP1` stream. Works identically whichever
     /// [`CuszpConfig::hybrid`] setting produced the bytes.
+    ///
+    /// The output allocation is sized from the stream's claimed element
+    /// count, and a hybrid frame's claim can legitimately dwarf its
+    /// physical size (Constant chunks store one byte per chunk). For
+    /// **untrusted** bytes use
+    /// [`Cuszp::decompress_serialized_bounded`], which rejects
+    /// oversize claims with a typed error *before* allocating.
     pub fn decompress_serialized<T: FloatData>(&self, bytes: &[u8]) -> Result<Vec<T>, FormatError> {
+        self.decompress_serialized_bounded(bytes, usize::MAX)
+    }
+
+    /// [`Cuszp::decompress_serialized`] with a caller-supplied ceiling on
+    /// the decoded element count: streams claiming more than
+    /// `max_elements` are rejected with [`FormatError::LimitExceeded`]
+    /// **before any output allocation**, so a tiny malicious frame
+    /// cannot force an out-of-memory abort. This is the entry point for
+    /// untrusted input; pick `max_elements` from the memory budget of
+    /// the call site (e.g. a service's payload cap).
+    pub fn decompress_serialized_bounded<T: FloatData>(
+        &self,
+        bytes: &[u8],
+        max_elements: usize,
+    ) -> Result<Vec<T>, FormatError> {
         let mut scratch = Scratch::new();
         if bytes.starts_with(&hybrid::HYBRID_MAGIC) {
             let r = HybridRef::parse(bytes)?;
             if r.dtype != T::DTYPE {
                 return Err(FormatError::Corrupt("stream element type mismatch"));
+            }
+            if r.num_elements > max_elements as u64 {
+                return Err(FormatError::LimitExceeded {
+                    claimed: r.num_elements,
+                    limit: max_elements as u64,
+                });
             }
             let mut out = vec![T::default(); r.num_elements as usize];
             hybrid::decode_into(&r, &mut HybridScratch::new(), &mut scratch, &mut out)?;
@@ -249,6 +280,12 @@ impl Cuszp {
             let r = CompressedRef::parse(bytes)?;
             if r.dtype != T::DTYPE {
                 return Err(FormatError::Corrupt("stream element type mismatch"));
+            }
+            if r.num_elements > max_elements as u64 {
+                return Err(FormatError::LimitExceeded {
+                    claimed: r.num_elements,
+                    limit: max_elements as u64,
+                });
             }
             let mut out = vec![T::default(); r.num_elements as usize];
             fast::decompress_into_at(r, &mut scratch, self.config.simd, &mut out);
