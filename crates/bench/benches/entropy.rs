@@ -1,0 +1,111 @@
+//! Entropy-stage kernel throughput at every SIMD tier the host
+//! supports: the multi-lane byte histogram, canonical Huffman one-way
+//! vs. the four-stream interleaved `Huffman4` (both directions), and
+//! the PackBits RLE scanner. These are the hot loops behind the hybrid
+//! `CUSZPHY1` second stage; the harness experiment `repro hybrid_ratio`
+//! records the end-to-end view into `BENCH_hybrid.json`, while this
+//! target isolates the kernels themselves on a fixed 4 MiB chunk-shaped
+//! corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuszp_entropy::{decode_chunk, encode_chunk_at, histogram, Mode, Tier};
+use std::hint::black_box;
+
+/// Skewed bytes shaped like a bit-shuffled residual plane: a few hot
+/// symbols, a long zero tail, occasional runs — Huffman and RLE both
+/// have real work to do.
+fn skewed_bytes(n: usize) -> Vec<u8> {
+    let mut s = 0x1234_5678_9abc_def0u64;
+    (0..n)
+        .map(|i| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if i % 97 < 40 {
+                0
+            } else {
+                (s % 16) as u8
+            }
+        })
+        .collect()
+}
+
+/// Run lengths long enough that the RLE scanner's vector path dominates.
+fn runny_bytes(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i / 300) % 7) as u8).collect()
+}
+
+fn supported_tiers() -> Vec<Tier> {
+    let detected = Tier::detect();
+    Tier::ALL.into_iter().filter(|&t| t <= detected).collect()
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let n = 4 << 20;
+    let skewed = skewed_bytes(n);
+    let runny = runny_bytes(n);
+    let mut comp = Vec::new();
+    let mut back = vec![0u8; n];
+
+    let mut group = c.benchmark_group("entropy");
+    for tier in supported_tiers() {
+        group.bench_function(format!("histogram_{tier}"), |b| {
+            b.iter(|| black_box(histogram(tier, black_box(&skewed))[0]))
+        });
+
+        group.bench_function(format!("huffman1_encode_{tier}"), |b| {
+            b.iter(|| {
+                comp.clear();
+                let got = encode_chunk_at(tier, Mode::Huffman, black_box(&skewed), &mut comp);
+                assert_eq!(got, Mode::Huffman);
+                black_box(comp.len())
+            })
+        });
+        comp.clear();
+        encode_chunk_at(tier, Mode::Huffman, &skewed, &mut comp);
+        group.bench_function(format!("huffman1_decode_{tier}"), |b| {
+            b.iter(|| {
+                decode_chunk(Mode::Huffman, black_box(&comp), &mut back).expect("own chunk");
+                black_box(back[0])
+            })
+        });
+
+        group.bench_function(format!("huffman4_encode_{tier}"), |b| {
+            b.iter(|| {
+                comp.clear();
+                let got = encode_chunk_at(tier, Mode::Huffman4, black_box(&skewed), &mut comp);
+                assert_eq!(got, Mode::Huffman4);
+                black_box(comp.len())
+            })
+        });
+        comp.clear();
+        encode_chunk_at(tier, Mode::Huffman4, &skewed, &mut comp);
+        group.bench_function(format!("huffman4_decode_{tier}"), |b| {
+            b.iter(|| {
+                decode_chunk(Mode::Huffman4, black_box(&comp), &mut back).expect("own chunk");
+                black_box(back[0])
+            })
+        });
+
+        group.bench_function(format!("rle_encode_{tier}"), |b| {
+            b.iter(|| {
+                comp.clear();
+                let got = encode_chunk_at(tier, Mode::Rle, black_box(&runny), &mut comp);
+                assert_eq!(got, Mode::Rle);
+                black_box(comp.len())
+            })
+        });
+        comp.clear();
+        encode_chunk_at(tier, Mode::Rle, &runny, &mut comp);
+        group.bench_function(format!("rle_decode_{tier}"), |b| {
+            b.iter(|| {
+                decode_chunk(Mode::Rle, black_box(&comp), &mut back).expect("own chunk");
+                black_box(back[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entropy);
+criterion_main!(benches);

@@ -43,13 +43,29 @@
 //! block decoder over exactly the requested blocks. The stage is
 //! lossless, so the error-bound contract is untouched.
 
-use crate::config::CuszpConfig;
+use crate::config::{CuszpConfig, SimdLevel};
 use crate::dtype::{DType, FloatData};
 use crate::encode::cmp_bytes_for;
 use crate::fast::{self, Scratch};
 use crate::format::{CompressedRef, FormatError, HEADER_BYTES};
+use crate::simd::resolve_level;
 pub use cuszp_entropy::Mode;
-use cuszp_entropy::{decode_chunk, encode_chunk, select_mode};
+use cuszp_entropy::{
+    decode_chunk, encode_chunk_at, select_mode_at, Tier, HUFFMAN4_HEADER_BYTES, HUFFMAN_TABLE_BYTES,
+};
+
+/// Map the host codec's dispatch level onto the entropy crate's [`Tier`]
+/// (the entropy crate is dependency-free, so it mirrors `SimdLevel` with
+/// its own enum). [`Tier::detect`] independently clamps to what the host
+/// supports, so the mapping never enables unsupported instructions.
+pub fn entropy_tier(level: SimdLevel) -> Tier {
+    let t = match level {
+        SimdLevel::Scalar => Tier::Scalar,
+        SimdLevel::Avx2 => Tier::Avx2,
+        SimdLevel::Avx512 => Tier::Avx512,
+    };
+    t.min(Tier::detect())
+}
 
 /// Magic bytes of the hybrid frame.
 pub const HYBRID_MAGIC: [u8; 8] = *b"CUSZPHY1";
@@ -61,6 +77,38 @@ pub const TABLE_ENTRY_BYTES: usize = 9;
 /// keeps the raw chunk around the coders' sweet spot (tens of KiB) while
 /// the 9-byte table entry stays ≪ 0.1% overhead.
 pub const DEFAULT_CHUNK_BLOCKS: usize = 256;
+/// Stream bytes per chunk that [`auto_chunk_blocks`] aims for. The
+/// entropy coders pay fixed per-chunk costs — a Huffman code build plus
+/// a 12-bit decode table (~10 µs), the 128-byte lens table, `Huffman4`'s
+/// 12-byte stream-end header — so on highly compressible planes (where
+/// the cuSZp stream is 16–60× smaller than the floats) the default
+/// 256-block chunk leaves only a couple of KiB of coded work to amortize
+/// them over and table builds dominate the stage. ~32 KiB of stream per
+/// chunk pushes those costs under a few percent while keeping random
+/// access granularity reasonable.
+pub const AUTO_CHUNK_STREAM_BYTES: usize = 32 << 10;
+/// Ceiling for [`auto_chunk_blocks`]: even on extreme ratios a chunk
+/// never exceeds 4096 blocks (16× the default), keeping decode
+/// granularity bounded and the worst-case chunk scratch small.
+pub const AUTO_CHUNK_MAX_BLOCKS: usize = 4096;
+
+/// Pick `chunk_blocks` for `r` so each chunk spans roughly
+/// [`AUTO_CHUNK_STREAM_BYTES`] of the cuSZp stream, rounded down to a
+/// power of two and clamped to `[DEFAULT_CHUNK_BLOCKS,
+/// AUTO_CHUNK_MAX_BLOCKS]`. Deterministic in the stream geometry alone,
+/// so re-encoding the same stream always reproduces the same framing.
+pub fn auto_chunk_blocks(r: &CompressedRef<'_>) -> usize {
+    let num_blocks = r.fixed_lengths.len().max(1);
+    let stream = r.fixed_lengths.len() + r.payload.len();
+    let per_block = stream.div_ceil(num_blocks).max(1);
+    let want = (AUTO_CHUNK_STREAM_BYTES / per_block).max(1);
+    let mut p = want.next_power_of_two();
+    if p > want {
+        p >>= 1;
+    }
+    p.clamp(DEFAULT_CHUNK_BLOCKS, AUTO_CHUNK_MAX_BLOCKS)
+}
+
 /// Largest `chunk_blocks` the wire format admits. Together with the
 /// `u32` raw-size invariant this caps how much geometry a header can
 /// claim per stored table entry, so a tiny untrusted frame cannot
@@ -117,7 +165,8 @@ pub fn max_frame_bytes<T: FloatData>(elems: usize, cfg: CuszpConfig, chunk_block
 }
 
 /// Encode `r` as a `CUSZPHY1` frame into `out` (cleared first), letting
-/// the sampled estimator pick each chunk's mode. See [`encode_with`].
+/// the sampled estimator pick each chunk's mode, at the default-resolved
+/// SIMD tier. See [`encode_with_at`].
 pub fn encode(
     r: &CompressedRef<'_>,
     chunk_blocks: usize,
@@ -127,20 +176,20 @@ pub fn encode(
     encode_with(r, chunk_blocks, None, hs, out)
 }
 
-/// Encode `r` as a `CUSZPHY1` frame into `out` (cleared first).
-///
-/// `force` pins every chunk to one requested mode — the per-mode
-/// benchmark rows — while `None` runs the estimator per chunk. Either
-/// way [`cuszp_entropy::encode_chunk`]'s size check applies, so the
-/// recorded mode may still fall back to [`Mode::Pass`] and no chunk is
-/// ever stored larger than its raw bytes.
-///
-/// # Panics
-/// Panics if `r` is not structurally valid ([`CompressedRef::validate`]),
-/// or if `chunk_blocks` is zero, exceeds [`MAX_CHUNK_BLOCKS`], or its
-/// raw chunk size cannot be indexed by the table's `u32` fields — the
-/// same limits [`HybridRef::parse`] enforces, so every encoded frame
-/// parses.
+/// [`encode`] at an explicit SIMD dispatch level (frames are
+/// byte-identical at every level; the level only selects kernels).
+pub fn encode_at(
+    r: &CompressedRef<'_>,
+    chunk_blocks: usize,
+    level: SimdLevel,
+    hs: &mut HybridScratch,
+    out: &mut Vec<u8>,
+) {
+    encode_with_at(r, chunk_blocks, None, level, hs, out)
+}
+
+/// [`encode_with`] at the default-resolved SIMD tier
+/// (`resolve_level(None)`: `CUSZP_SIMD`, then runtime detection).
 pub fn encode_with(
     r: &CompressedRef<'_>,
     chunk_blocks: usize,
@@ -148,6 +197,34 @@ pub fn encode_with(
     hs: &mut HybridScratch,
     out: &mut Vec<u8>,
 ) {
+    encode_with_at(r, chunk_blocks, force, resolve_level(None), hs, out)
+}
+
+/// Encode `r` as a `CUSZPHY1` frame into `out` (cleared first).
+///
+/// `force` pins every chunk to one requested mode — the per-mode
+/// benchmark rows — while `None` runs the estimator per chunk. Either
+/// way [`cuszp_entropy::encode_chunk`]'s size check applies, so the
+/// recorded mode may still fall back to [`Mode::Pass`] and no chunk is
+/// ever stored larger than its raw bytes. `level` selects the entropy
+/// coders' SIMD kernels only — the emitted frame is byte-identical at
+/// every level (`tests/entropy_tiers.rs` pins this).
+///
+/// # Panics
+/// Panics if `r` is not structurally valid ([`CompressedRef::validate`]),
+/// or if `chunk_blocks` is zero, exceeds [`MAX_CHUNK_BLOCKS`], or its
+/// raw chunk size cannot be indexed by the table's `u32` fields — the
+/// same limits [`HybridRef::parse`] enforces, so every encoded frame
+/// parses.
+pub fn encode_with_at(
+    r: &CompressedRef<'_>,
+    chunk_blocks: usize,
+    force: Option<Mode>,
+    level: SimdLevel,
+    hs: &mut HybridScratch,
+    out: &mut Vec<u8>,
+) {
+    let tier = entropy_tier(level);
     r.validate().expect("hybrid encode requires a valid stream");
     assert!(chunk_blocks >= 1, "chunk_blocks must be positive");
     assert!(
@@ -184,9 +261,9 @@ pub fn encode_with(
         hs.raw.extend_from_slice(&r.fixed_lengths[b0..b1]);
         hs.raw.extend_from_slice(&r.payload[span]);
 
-        let mode = force.unwrap_or_else(|| select_mode(&hs.raw));
+        let mode = force.unwrap_or_else(|| select_mode_at(tier, &hs.raw));
         let mark = out.len();
-        let used = encode_chunk(mode, &hs.raw, out);
+        let used = encode_chunk_at(tier, mode, &hs.raw, out);
         let comp_len = (out.len() - mark) as u32;
         let e = table_at + c * TABLE_ENTRY_BYTES;
         out[e] = used.to_byte();
@@ -309,9 +386,18 @@ impl<'a> HybridRef<'a> {
                         return Err(FormatError::Corrupt("constant chunk size"));
                     }
                 }
-                Mode::Rle | Mode::Huffman => {
+                Mode::Rle | Mode::Huffman | Mode::Huffman4 => {
                     if comp_len == 0 || comp_len >= raw_len {
                         return Err(FormatError::Corrupt("coded chunk not smaller than raw"));
+                    }
+                    // The Huffman forms carry a fixed header no valid
+                    // chunk can undercut; rejecting here keeps the
+                    // decode path's slicing trivially in range.
+                    if mode == Mode::Huffman && comp_len <= HUFFMAN_TABLE_BYTES as u64 {
+                        return Err(FormatError::Corrupt("huffman chunk below table size"));
+                    }
+                    if mode == Mode::Huffman4 && comp_len <= HUFFMAN4_HEADER_BYTES as u64 {
+                        return Err(FormatError::Corrupt("huffman4 chunk below header size"));
                     }
                 }
             }
@@ -367,8 +453,8 @@ impl<'a> HybridRef<'a> {
     }
 
     /// Per-mode chunk counts, indexed by mode byte (benchmark reporting).
-    pub fn mode_histogram(&self) -> [usize; 4] {
-        let mut h = [0usize; 4];
+    pub fn mode_histogram(&self) -> [usize; 5] {
+        let mut h = [0usize; 5];
         for c in 0..self.num_chunks() {
             h[self.entry(c).0.to_byte() as usize] += 1;
         }
@@ -594,6 +680,34 @@ mod tests {
     }
 
     #[test]
+    fn auto_chunk_blocks_tracks_stream_density() {
+        // Dense stream (pass-like): ≥ 4 bytes/block at L = 32 means the
+        // 32 KiB target is hit well under the 4096-block ceiling.
+        let dense = fast::compress(&wave(1 << 20), 1e-6, CuszpConfig::default());
+        let dense_r = dense.as_ref();
+        let cb_dense = auto_chunk_blocks(&dense_r);
+        assert!((DEFAULT_CHUNK_BLOCKS..=AUTO_CHUNK_MAX_BLOCKS).contains(&cb_dense));
+        assert!(cb_dense.is_power_of_two(), "power-of-two framing");
+        // Sparse stream (near-constant data → tiny payload) amortizes
+        // per-chunk table costs with strictly coarser chunks.
+        let sparse = fast::compress(&vec![0.0f32; 1 << 20], 1e-2, CuszpConfig::default());
+        let sparse_r = sparse.as_ref();
+        let cb_sparse = auto_chunk_blocks(&sparse_r);
+        assert!(cb_sparse >= cb_dense, "sparser stream → coarser chunks");
+        assert_eq!(
+            cb_sparse, AUTO_CHUNK_MAX_BLOCKS,
+            "1 byte/block hits the cap"
+        );
+        // Deterministic in the stream geometry.
+        assert_eq!(cb_dense, auto_chunk_blocks(&dense.as_ref()));
+        // Tiny inputs stay in range (oversized chunk_blocks is legal:
+        // the frame simply holds one chunk).
+        let tiny = fast::compress(&wave(100), 1e-3, CuszpConfig::default());
+        let cb_tiny = auto_chunk_blocks(&tiny.as_ref());
+        assert!((DEFAULT_CHUNK_BLOCKS..=AUTO_CHUNK_MAX_BLOCKS).contains(&cb_tiny));
+    }
+
+    #[test]
     fn partial_decode_matches_full() {
         let data = wave(40_000);
         let bytes = frame(&data, 1e-3, 64, None);
@@ -700,10 +814,11 @@ mod tests {
             HybridRef::parse(&b),
             Err(FormatError::Corrupt("chunk count vs geometry"))
         );
-        // Unknown mode byte.
+        // Unknown mode byte (4 = Huffman4 is valid as of this format
+        // revision; 5 is the first unassigned byte).
         let mut b = good.clone();
-        b[HYBRID_HEADER_BYTES] = 4;
-        assert_eq!(HybridRef::parse(&b), Err(FormatError::UnknownHybridMode(4)));
+        b[HYBRID_HEADER_BYTES] = 5;
+        assert_eq!(HybridRef::parse(&b), Err(FormatError::UnknownHybridMode(5)));
         // Truncated payload.
         assert_eq!(
             HybridRef::parse(&good[..good.len() - 1]),
@@ -777,6 +892,23 @@ mod tests {
         assert_eq!(
             HybridRef::parse(&b),
             Err(FormatError::Corrupt("coded chunk not smaller than raw"))
+        );
+    }
+
+    #[test]
+    fn huffman_chunks_below_their_headers_rejected() {
+        // L = 8 makes per-block worst-case raw large enough that a
+        // sub-header comp_len still passes the smaller-than-raw check —
+        // the dedicated header floors must catch it.
+        let b = raw_frame(1600, 8, 256, &[(3, 100, 250)], &[0u8; 100]);
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("huffman chunk below table size"))
+        );
+        let b = raw_frame(1600, 8, 256, &[(4, 140, 250)], &[0u8; 140]);
+        assert_eq!(
+            HybridRef::parse(&b),
+            Err(FormatError::Corrupt("huffman4 chunk below header size"))
         );
     }
 

@@ -225,7 +225,14 @@ impl Cuszp {
             let plain_len = c.as_ref().total_bytes();
             let mut hs = HybridScratch::new();
             let mut hy = Vec::new();
-            hybrid::encode(&c.as_ref(), hybrid::DEFAULT_CHUNK_BLOCKS, &mut hs, &mut hy);
+            let r = c.as_ref();
+            hybrid::encode_at(
+                &r,
+                hybrid::auto_chunk_blocks(&r),
+                simd::resolve_level(self.config.simd),
+                &mut hs,
+                &mut hy,
+            );
             if (hy.len() as u64) < plain_len {
                 return hy;
             }

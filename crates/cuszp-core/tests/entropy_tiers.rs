@@ -1,0 +1,256 @@
+//! Differential tests for the entropy SIMD tier ladder (ISSUE 10).
+//!
+//! The ladder's core contract: a tier selects *kernels*, never output.
+//! `hybrid::encode_with_at` must emit byte-identical `CUSZPHY1` frames
+//! at every [`SimdLevel`] the host supports, for the adaptive estimator
+//! and for every forced mode — including the four-stream `Huffman4`
+//! mode this PR adds. On top of that, two compatibility directions are
+//! pinned with golden bytes:
+//!
+//! * **old frames, new decoder** — PR-9-era frames (checked into
+//!   `tests/data/`) still parse and decode byte-for-byte;
+//! * **new frames, old mode set** — a frame carrying `Huffman4` chunks
+//!   misread under the previous mode ids yields a typed error, never a
+//!   panic, and truncation of such a frame is caught at every prefix.
+
+use cuszp_core::hybrid::{
+    self, HybridRef, HybridScratch, Mode, DEFAULT_CHUNK_BLOCKS, HYBRID_HEADER_BYTES,
+    TABLE_ENTRY_BYTES,
+};
+use cuszp_core::{fast, simd, CompressedRef, CuszpConfig, SimdLevel};
+use proptest::prelude::*;
+
+/// Every tier the running host can execute (the ladder clamps to the
+/// detected level, so asking for more would silently re-test scalar).
+fn supported_tiers() -> Vec<SimdLevel> {
+    let detected = simd::detect_level();
+    SimdLevel::ALL
+        .into_iter()
+        .filter(|&l| l <= detected)
+        .collect()
+}
+
+/// Compress `data` to a plain stream, then hybrid-encode it at `level`.
+fn encode_frame_at(
+    plain: &[u8],
+    chunk_blocks: usize,
+    force: Option<Mode>,
+    level: SimdLevel,
+) -> Vec<u8> {
+    let r = CompressedRef::parse(plain).expect("own plain stream parses");
+    let mut hs = HybridScratch::new();
+    let mut frame = Vec::new();
+    hybrid::encode_with_at(&r, chunk_blocks, force, level, &mut hs, &mut frame);
+    frame
+}
+
+fn compress_plain(data: &[f32], eb: f64) -> Vec<u8> {
+    let mut scratch = fast::Scratch::new();
+    let mut plain = Vec::new();
+    fast::compress_into(&mut scratch, data, eb, CuszpConfig::default(), &mut plain);
+    plain
+}
+
+/// Smooth, skewed data: residual planes compress well, so Huffman-style
+/// modes actually run (uniform noise would collapse everything to Pass).
+fn skewed_field(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 * 0.004).sin() * 8.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Frames are byte-identical across every supported tier, for the
+    /// adaptive estimator and every forced mode.
+    #[test]
+    fn tiers_emit_identical_frames(
+        data in proptest::collection::vec(
+            prop_oneof![
+                3 => -1.0e5f32..1.0e5,
+                1 => -1.0f32..1.0,
+                1 => Just(0.0f32),
+            ],
+            1..3000,
+        ),
+        chunk_blocks in prop_oneof![Just(1usize), Just(3), Just(256)],
+        force in prop_oneof![
+            Just(None),
+            Just(Some(Mode::Pass)),
+            Just(Some(Mode::Constant)),
+            Just(Some(Mode::Rle)),
+            Just(Some(Mode::Huffman)),
+            Just(Some(Mode::Huffman4)),
+        ],
+    ) {
+        let plain = compress_plain(&data, 0.01);
+        let tiers = supported_tiers();
+        let baseline = encode_frame_at(&plain, chunk_blocks, force, tiers[0]);
+        for &level in &tiers[1..] {
+            let frame = encode_frame_at(&plain, chunk_blocks, force, level);
+            prop_assert_eq!(
+                &baseline, &frame,
+                "tier {} diverged from {} (force {:?})", level, tiers[0], force
+            );
+        }
+        // And the frame actually inverts, whatever tier wrote it.
+        let r = HybridRef::parse(&baseline).expect("own frame parses");
+        let mut hs = HybridScratch::new();
+        let mut back = Vec::new();
+        hybrid::decode_stream_bytes(&r, &mut hs, &mut back).expect("own frame decodes");
+        prop_assert_eq!(&back, &plain);
+    }
+}
+
+/// A large skewed field drives the estimator into `Huffman4` (chunks
+/// clear [`cuszp_entropy::HUFFMAN4_MIN_CHUNK`]), and the frames still
+/// match across every tier byte-for-byte and invert to the plain
+/// stream.
+#[test]
+fn adaptive_huffman4_frames_identical_across_tiers() {
+    let data = skewed_field(400_000);
+    let plain = compress_plain(&data, 1e-3);
+    let tiers = supported_tiers();
+    let baseline = encode_frame_at(&plain, DEFAULT_CHUNK_BLOCKS, None, tiers[0]);
+    for &level in &tiers[1..] {
+        let frame = encode_frame_at(&plain, DEFAULT_CHUNK_BLOCKS, None, level);
+        assert_eq!(baseline, frame, "tier {level} diverged on the large field");
+    }
+    let r = HybridRef::parse(&baseline).expect("own frame parses");
+    let hist = r.mode_histogram();
+    assert!(
+        hist[Mode::Huffman4.to_byte() as usize] > 0,
+        "large skewed chunks must upgrade to Huffman4, got {hist:?}"
+    );
+    let mut hs = HybridScratch::new();
+    let mut back = Vec::new();
+    hybrid::decode_stream_bytes(&r, &mut hs, &mut back).expect("own frame decodes");
+    assert_eq!(
+        back, plain,
+        "Huffman4 frame must invert to the plain stream"
+    );
+}
+
+/// PR-9-era golden frames decode unchanged: the adaptive frame and a
+/// forced-RLE frame, both written before the `Huffman4` mode existed,
+/// parse and invert byte-for-byte to the golden plain stream, and their
+/// mode tables read back exactly as written.
+#[test]
+fn pr9_golden_frames_decode_unchanged() {
+    let plain: &[u8] = include_bytes!("data/pr9_plain_stream.bin");
+    for (frame, want_hist) in [
+        (
+            &include_bytes!("data/pr9_hybrid_frame.bin")[..],
+            [4usize, 4, 0, 12, 0],
+        ),
+        (
+            &include_bytes!("data/pr9_hybrid_frame_rle.bin")[..],
+            [1, 0, 19, 0, 0],
+        ),
+    ] {
+        let r = HybridRef::parse(frame).expect("golden frame parses");
+        assert_eq!(
+            r.mode_histogram(),
+            want_hist,
+            "golden frame's mode table must read back as written"
+        );
+        let mut hs = HybridScratch::new();
+        let mut back = Vec::new();
+        hybrid::decode_stream_bytes(&r, &mut hs, &mut back).expect("golden frame decodes");
+        assert_eq!(
+            back, plain,
+            "golden frame must invert to the golden plain stream"
+        );
+        // The value path agrees with the plain first-stage decoder.
+        let plain_ref = CompressedRef::parse(plain).expect("golden plain stream parses");
+        let mut scratch = fast::Scratch::new();
+        let mut vals = vec![0f32; r.num_elements as usize];
+        hybrid::decode_into(&r, &mut hs, &mut scratch, &mut vals).expect("values decode");
+        let mut plain_vals = vec![0f32; r.num_elements as usize];
+        fast::decompress_into(plain_ref, &mut scratch, &mut plain_vals);
+        assert_eq!(vals, plain_vals);
+    }
+}
+
+/// Build a frame guaranteed to carry at least one `Huffman4` chunk and
+/// return it with the table index of that chunk.
+fn huffman4_frame() -> (Vec<u8>, usize) {
+    let data = skewed_field(8_000);
+    let plain = compress_plain(&data, 1e-3);
+    let frame = encode_frame_at(
+        &plain,
+        DEFAULT_CHUNK_BLOCKS,
+        Some(Mode::Huffman4),
+        SimdLevel::Scalar,
+    );
+    let r = HybridRef::parse(&frame).expect("own frame parses");
+    let hist = r.mode_histogram();
+    assert!(
+        hist[Mode::Huffman4.to_byte() as usize] > 0,
+        "forced Huffman4 must stick on skewed data, got {hist:?}"
+    );
+    let chunks = hist.iter().sum::<usize>();
+    let idx = (0..chunks)
+        .find(|c| frame[HYBRID_HEADER_BYTES + c * TABLE_ENTRY_BYTES] == Mode::Huffman4.to_byte())
+        .expect("a Huffman4 table entry exists");
+    (frame, idx)
+}
+
+/// A `Huffman4` frame misread under the old mode ids fails with a typed
+/// error — never a panic, never silent success. This emulates what a
+/// PR-9 decoder would do with the new frames: its mode table rejects
+/// byte 4 at parse time (`UnknownHybridMode`), and even if a chunk's
+/// payload were reinterpreted under an old mode id the decode is caught.
+#[test]
+fn huffman4_frames_fail_typed_under_old_mode_set() {
+    let (frame, idx) = huffman4_frame();
+    let mode_at = HYBRID_HEADER_BYTES + idx * TABLE_ENTRY_BYTES;
+
+    for old_mode in [
+        Mode::Pass.to_byte(),
+        Mode::Constant.to_byte(),
+        Mode::Rle.to_byte(),
+        Mode::Huffman.to_byte(),
+    ] {
+        let mut warped = frame.clone();
+        warped[mode_at] = old_mode;
+        let outcome = HybridRef::parse(&warped).map(|r| {
+            let mut hs = HybridScratch::new();
+            let mut back = Vec::new();
+            hybrid::decode_stream_bytes(&r, &mut hs, &mut back)
+        });
+        match outcome {
+            Err(_) | Ok(Err(_)) => {}
+            Ok(Ok(())) => panic!("Huffman4 payload decoded cleanly as mode {old_mode}"),
+        }
+    }
+
+    // The next unassigned id is still rejected at parse time, so future
+    // mode additions keep failing closed on today's decoder.
+    let mut warped = frame;
+    warped[mode_at] = 5;
+    assert!(HybridRef::parse(&warped).is_err());
+}
+
+/// Truncation of a `Huffman4`-bearing frame is caught at parse time for
+/// every strict prefix, and every single-byte corruption of the frame
+/// yields a typed error or a still-consistent decode — never a panic.
+#[test]
+fn huffman4_frame_corruption_is_typed_on_every_prefix() {
+    let (frame, _) = huffman4_frame();
+    for cut in 0..frame.len() {
+        assert!(
+            HybridRef::parse(&frame[..cut]).is_err(),
+            "prefix {cut} of {} parsed",
+            frame.len()
+        );
+    }
+    let mut hs = HybridScratch::new();
+    let mut back = Vec::new();
+    for pos in 0..frame.len() {
+        let mut warped = frame.clone();
+        warped[pos] ^= 0x41;
+        if let Ok(r) = HybridRef::parse(&warped) {
+            let _ = hybrid::decode_stream_bytes(&r, &mut hs, &mut back);
+        }
+    }
+}

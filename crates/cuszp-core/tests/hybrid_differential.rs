@@ -35,6 +35,7 @@ fn force_strategy() -> impl Strategy<Value = Option<Mode>> {
         Just(Some(Mode::Constant)),
         Just(Some(Mode::Rle)),
         Just(Some(Mode::Huffman)),
+        Just(Some(Mode::Huffman4)),
     ]
 }
 
@@ -96,7 +97,13 @@ proptest! {
     ) {
         let cfg = CuszpConfig::default();
         let (plain, _) = encode_pair(&data, 0.01, cfg, chunk_blocks, None);
-        for force in [Mode::Pass, Mode::Constant, Mode::Rle, Mode::Huffman] {
+        for force in [
+            Mode::Pass,
+            Mode::Constant,
+            Mode::Rle,
+            Mode::Huffman,
+            Mode::Huffman4,
+        ] {
             let (_, frame) = encode_pair(&data, 0.01, cfg, chunk_blocks, Some(force));
             let r = HybridRef::parse(&frame).expect("own frame parses");
             let mut hs = HybridScratch::new();

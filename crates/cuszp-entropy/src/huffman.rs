@@ -15,8 +15,16 @@
 //! deepens the longest under-limit code until the capped lengths are
 //! prefix-decodable again. Everything runs in fixed-size stack arrays —
 //! no allocation, no recursion.
+//!
+//! The decoder uses a **multi-symbol** table (Fabian Giesen's
+//! "reading bits in far too many ways" construction): each 12-bit prefix
+//! entry carries up to two decoded symbols when both codes fit the
+//! window, so skewed chunks — short codes, exactly the ones the
+//! estimator routes here — emit two bytes per table hit. The same table
+//! drives the four interleaved streams of [`crate::Mode::Huffman4`]
+//! (see `interleave.rs`).
 
-use crate::EntropyError;
+use crate::{histogram, EntropyError, Tier};
 
 /// Size of the packed-nibble code-length table that heads every chunk.
 pub const HUFFMAN_TABLE_BYTES: usize = 128;
@@ -24,19 +32,16 @@ pub const HUFFMAN_TABLE_BYTES: usize = 128;
 /// Maximum code length in bits; also the decode-table index width.
 pub const HUFFMAN_MAX_CODE_LEN: u32 = 12;
 
-const LIMIT: u8 = HUFFMAN_MAX_CODE_LEN as u8;
-const TABLE_SIZE: usize = 1 << HUFFMAN_MAX_CODE_LEN;
+pub(crate) const LIMIT: u8 = HUFFMAN_MAX_CODE_LEN as u8;
+pub(crate) const TABLE_SIZE: usize = 1 << HUFFMAN_MAX_CODE_LEN;
 
 /// Append the coded form of `raw` (table + bitstream) to `out` **iff** it
 /// is strictly smaller than `raw`; returns whether it was appended. The
 /// exact coded size is known from the code lengths before any byte is
 /// written, so a losing encode costs the histogram pass only.
-pub(crate) fn encode(raw: &[u8], out: &mut Vec<u8>) -> bool {
+pub(crate) fn encode(tier: Tier, raw: &[u8], out: &mut Vec<u8>) -> bool {
     debug_assert!(!raw.is_empty());
-    let mut freq = [0u32; 256];
-    for &b in raw {
-        freq[b as usize] += 1;
-    }
+    let freq = histogram::histogram(tier, raw);
     let mut lens = [0u8; 256];
     build_lengths(&freq, &mut lens);
 
@@ -50,38 +55,37 @@ pub(crate) fn encode(raw: &[u8], out: &mut Vec<u8>) -> bool {
         return false;
     }
 
-    out.reserve(coded as usize);
-    for i in 0..HUFFMAN_TABLE_BYTES {
-        out.push(lens[2 * i] | (lens[2 * i + 1] << 4));
-    }
+    out.reserve(coded as usize + 7);
+    push_lens_table(&lens, out);
     let codes = assign_codes(&lens);
-    let mut acc: u64 = 0;
-    let mut nbits: u32 = 0;
+    let base = out.len();
+    let stream = coded as usize - HUFFMAN_TABLE_BYTES;
+    out.resize(base + stream + 7, 0); // 7 bytes of WideWriter slack
+    let mut w = WideWriter::at(base);
     for &b in raw {
-        acc = (acc << lens[b as usize]) | u64::from(codes[b as usize]);
-        nbits += u32::from(lens[b as usize]);
-        while nbits >= 8 {
-            nbits -= 8;
-            out.push((acc >> nbits) as u8);
-        }
+        w.put(lens[b as usize], codes[b as usize], out);
     }
-    if nbits > 0 {
-        out.push((acc << (8 - nbits)) as u8);
-    }
+    debug_assert_eq!(w.end(), base + stream, "coded size precomputation");
+    out.truncate(base + stream);
     true
 }
 
-/// Decode a chunk produced by [`encode`] into `out` (whose length is the
-/// chunk's recorded raw length). Every malformation — truncated table,
-/// over-limit or Kraft-overfull lengths, a bit pattern matching no code,
-/// a bitstream that ends early or carries unused bytes or non-zero
-/// padding — is a typed [`EntropyError`].
-pub(crate) fn decode(comp: &[u8], out: &mut [u8]) -> Result<(), EntropyError> {
-    if comp.len() < HUFFMAN_TABLE_BYTES {
-        return Err(EntropyError("huffman table truncated"));
+/// Append the packed-nibble form of `lens` (low nibble = even symbol).
+pub(crate) fn push_lens_table(lens: &[u8; 256], out: &mut Vec<u8>) {
+    for i in 0..HUFFMAN_TABLE_BYTES {
+        out.push(lens[2 * i] | (lens[2 * i + 1] << 4));
     }
+}
+
+/// Unpack a 128-byte nibble table into per-symbol lengths and validate
+/// the global invariants shared by the 1-way and 4-way chunk forms:
+/// every length ≤ [`LIMIT`] and the Kraft sum ≤ 1. Returns the lengths
+/// plus the number of coded symbols (0 for an empty table — legal only
+/// when nothing is to be decoded; the caller enforces that).
+pub(crate) fn parse_lens_table(table: &[u8]) -> Result<([u8; 256], u32), EntropyError> {
+    debug_assert_eq!(table.len(), HUFFMAN_TABLE_BYTES);
     let mut lens = [0u8; 256];
-    for (i, &b) in comp[..HUFFMAN_TABLE_BYTES].iter().enumerate() {
+    for (i, &b) in table.iter().enumerate() {
         lens[2 * i] = b & 0x0F;
         lens[2 * i + 1] = b >> 4;
     }
@@ -96,6 +100,202 @@ pub(crate) fn decode(comp: &[u8], out: &mut [u8]) -> Result<(), EntropyError> {
             nonzero += 1;
         }
     }
+    if nonzero > 0 && kraft > 1u64 << LIMIT {
+        return Err(EntropyError("huffman table overfull"));
+    }
+    Ok((lens, nonzero))
+}
+
+/// Flat multi-symbol decode table over 12-bit prefixes.
+///
+/// Entry layout (`u32`): bits 0–7 first symbol, 8–15 second symbol,
+/// 16–19 first code's length, 20–24 total consumed bits, bit 25 set when
+/// the entry carries two symbols. A zero entry marks a prefix no valid
+/// stream can produce.
+pub(crate) struct DecodeTable {
+    entries: [u32; TABLE_SIZE],
+}
+
+impl DecodeTable {
+    /// Outputs below this many bytes skip the two-symbol graft pass:
+    /// the graft costs a full sweep of the 4096-entry table, which only
+    /// pays for itself once the symbol loop it accelerates is longer
+    /// than the sweep. Tables with and without the graft decode to
+    /// identical bytes — the flag trades build time against per-lookup
+    /// yield, never output.
+    pub(crate) const GRAFT_MIN_SYMBOLS: usize = 4096;
+
+    /// Build the table from validated lengths (Kraft ≤ 1, all ≤ 12).
+    /// `two_symbol` enables the multi-symbol graft pass.
+    pub(crate) fn build(lens: &[u8; 256], two_symbol: bool) -> Result<DecodeTable, EntropyError> {
+        let codes = assign_codes(lens);
+        let mut entries = [0u32; TABLE_SIZE];
+        for s in 0..256 {
+            let l = lens[s];
+            if l == 0 {
+                continue;
+            }
+            let span = 1usize << (LIMIT - l);
+            let base = (codes[s] as usize) << (LIMIT - l);
+            // Kraft ≤ 1 guarantees canonical codes fit; belt and braces.
+            if base + span > TABLE_SIZE {
+                return Err(EntropyError("huffman table overfull"));
+            }
+            let e = s as u32 | u32::from(l) << 16 | u32::from(l) << 20;
+            entries[base..base + span].fill(e);
+        }
+        if !two_symbol {
+            return Ok(DecodeTable { entries });
+        }
+        // Second pass: graft a second symbol onto every prefix whose
+        // first code leaves room for a complete follow-up code. The
+        // augmentation only reads the sym0/len0 fields, which it never
+        // modifies, so it can run in place.
+        for p in 0..TABLE_SIZE {
+            let e = entries[p];
+            if e == 0 {
+                continue;
+            }
+            let l1 = (e >> 16) & 0xF;
+            if l1 >= HUFFMAN_MAX_CODE_LEN {
+                continue;
+            }
+            // After consuming l1 bits, the known remainder of the window
+            // is its low 12−l1 bits, zero-extended: a second entry whose
+            // code length fits that remainder is fully determined.
+            let p2 = (p << l1) & (TABLE_SIZE - 1);
+            let e2 = entries[p2];
+            if e2 == 0 {
+                continue;
+            }
+            let l2 = (e2 >> 16) & 0xF;
+            if l1 + l2 <= HUFFMAN_MAX_CODE_LEN {
+                entries[p] = (e & 0x000F_00FF) | (e2 & 0xFF) << 8 | (l1 + l2) << 20 | 1 << 25;
+            }
+        }
+        Ok(DecodeTable { entries })
+    }
+
+    #[inline(always)]
+    pub(crate) fn entry(&self, peek: usize) -> u32 {
+        self.entries[peek]
+    }
+}
+
+/// Branchless MSB-first bit writer over a pre-sized region of a byte
+/// buffer. Bits are kept left-aligned in `acc` (the next bit to write
+/// is bit 63) and every `put` unconditionally stores 8 big-endian
+/// bytes, so the hot path has no data-dependent flush branch — the
+/// branch in the classic accumulate-and-flush writer mispredicts on
+/// real code-length mixes and dominates encode time. A store may run up
+/// to 7 bytes past the write cursor; the spilled bytes are always zero
+/// (only counted bits are nonzero in `acc`), so callers need only
+/// guarantee 7 bytes of slack after the region — either the next
+/// stream's region, written afterwards, or buffer padding truncated at
+/// the end.
+pub(crate) struct WideWriter {
+    acc: u64,
+    have: u32,
+    pos: usize,
+}
+
+impl WideWriter {
+    pub(crate) fn at(pos: usize) -> WideWriter {
+        WideWriter {
+            acc: 0,
+            have: 0,
+            pos,
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn put(&mut self, len: u8, code: u16, out: &mut [u8]) {
+        debug_assert!((1..=LIMIT).contains(&len), "coded symbols have a length");
+        // have ≤ 7 between puts and len ≤ 12, so the shift is ≥ 45.
+        self.acc |= u64::from(code) << (64 - self.have - u32::from(len));
+        self.have += u32::from(len);
+        out[self.pos..self.pos + 8].copy_from_slice(&self.acc.to_be_bytes());
+        let adv = self.have >> 3;
+        self.pos += adv as usize;
+        self.acc <<= adv * 8;
+        self.have &= 7;
+    }
+
+    /// One past the final (possibly partial, zero-padded) byte — the
+    /// partial byte is already stored by the last `put`.
+    pub(crate) fn end(&self) -> usize {
+        self.pos + usize::from(self.have > 0)
+    }
+}
+
+/// One MSB-first bit reader with word-at-a-time refill. `acc` holds
+/// `have` valid bits in its low positions; refill keeps `have` ≥ 12
+/// while input bytes remain, loading 32 bits at a time away from the
+/// tail.
+pub(crate) struct BitReader {
+    pub(crate) acc: u64,
+    pub(crate) have: u32,
+    pub(crate) next: usize,
+}
+
+impl BitReader {
+    /// Top up to ≥ 12 valid bits (best effort near the stream tail).
+    #[inline(always)]
+    pub(crate) fn refill(&mut self, bits: &[u8]) {
+        if self.have < HUFFMAN_MAX_CODE_LEN {
+            if self.next + 4 <= bits.len() {
+                let w = u32::from_be_bytes(
+                    bits[self.next..self.next + 4]
+                        .try_into()
+                        .expect("bounds checked"),
+                );
+                self.acc = (self.acc << 32) | u64::from(w);
+                self.next += 4;
+                self.have += 32;
+            } else {
+                while self.have < HUFFMAN_MAX_CODE_LEN && self.next < bits.len() {
+                    self.acc = (self.acc << 8) | u64::from(bits[self.next]);
+                    self.next += 1;
+                    self.have += 8;
+                }
+            }
+        }
+    }
+
+    /// The next 12 bits MSB-first (zero-extended past the stream end).
+    #[inline(always)]
+    pub(crate) fn peek(&self) -> usize {
+        if self.have >= HUFFMAN_MAX_CODE_LEN {
+            (self.acc >> (self.have - HUFFMAN_MAX_CODE_LEN)) as usize & (TABLE_SIZE - 1)
+        } else {
+            ((self.acc << (HUFFMAN_MAX_CODE_LEN - self.have)) as usize) & (TABLE_SIZE - 1)
+        }
+    }
+
+    /// End-of-stream validation shared by every stream form: all input
+    /// bytes consumed, less than one byte of slack, and the slack (the
+    /// encoder's final-byte padding) all zero.
+    pub(crate) fn finish(&self, bits: &[u8]) -> Result<(), EntropyError> {
+        if self.next != bits.len() || self.have >= 8 {
+            return Err(EntropyError("huffman trailing bytes"));
+        }
+        if self.have > 0 && self.acc & ((1u64 << self.have) - 1) != 0 {
+            return Err(EntropyError("huffman padding not zero"));
+        }
+        Ok(())
+    }
+}
+
+/// Decode a chunk produced by [`encode`] into `out` (whose length is the
+/// chunk's recorded raw length). Every malformation — truncated table,
+/// over-limit or Kraft-overfull lengths, a bit pattern matching no code,
+/// a bitstream that ends early or carries unused bytes or non-zero
+/// padding — is a typed [`EntropyError`].
+pub(crate) fn decode(comp: &[u8], out: &mut [u8]) -> Result<(), EntropyError> {
+    if comp.len() < HUFFMAN_TABLE_BYTES {
+        return Err(EntropyError("huffman table truncated"));
+    }
+    let (lens, nonzero) = parse_lens_table(&comp[..HUFFMAN_TABLE_BYTES])?;
     let bits = &comp[HUFFMAN_TABLE_BYTES..];
     if out.is_empty() {
         return if bits.is_empty() {
@@ -107,72 +307,78 @@ pub(crate) fn decode(comp: &[u8], out: &mut [u8]) -> Result<(), EntropyError> {
     if nonzero == 0 {
         return Err(EntropyError("huffman table empty"));
     }
-    if kraft > 1u64 << LIMIT {
-        return Err(EntropyError("huffman table overfull"));
-    }
+    let tab = DecodeTable::build(&lens, out.len() >= DecodeTable::GRAFT_MIN_SYMBOLS)?;
 
-    // Flat decode table: every 12-bit prefix maps to (symbol, length);
-    // length 0 marks a gap no valid stream can hit.
-    let codes = assign_codes(&lens);
-    let mut sym_tab = [0u8; TABLE_SIZE];
-    let mut len_tab = [0u8; TABLE_SIZE];
-    for s in 0..256 {
-        let l = lens[s];
-        if l == 0 {
-            continue;
-        }
-        let span = 1usize << (LIMIT - l);
-        let base = (codes[s] as usize) << (LIMIT - l);
-        // Kraft ≤ 1 guarantees canonical codes fit; belt and suspenders.
-        if base + span > TABLE_SIZE {
-            return Err(EntropyError("huffman table overfull"));
-        }
-        for e in &mut sym_tab[base..base + span] {
-            *e = s as u8;
-        }
-        for e in &mut len_tab[base..base + span] {
-            *e = l;
-        }
-    }
-
-    let mut acc: u64 = 0;
+    // Fast path: branchless refill (Fabian Giesen's variant — one
+    // unconditional 8-byte big-endian load per lookup, accumulator kept
+    // left-aligned) and an unconditional two-byte store. The refill
+    // branch and the 1-vs-2-symbol branch are data-dependent and
+    // mispredict constantly in the careful loop below; here the only
+    // branches are the loop bounds (always-taken) and the rare invalid
+    // code. Entries consume `ltot` ≤ 12 bits whether they carry one
+    // symbol or two (a 1-symbol entry has `ltot == l1`), and a 1-symbol
+    // entry's second byte is dead weight the next store overwrites.
+    let n = out.len();
+    let mut acc: u64 = 0; // bits left-aligned: next bit is bit 63
     let mut have: u32 = 0;
     let mut next = 0usize;
-    for slot in out.iter_mut() {
-        while have < HUFFMAN_MAX_CODE_LEN && next < bits.len() {
-            acc = (acc << 8) | u64::from(bits[next]);
-            next += 1;
-            have += 8;
-        }
-        let peek = if have >= HUFFMAN_MAX_CODE_LEN {
-            (acc >> (have - HUFFMAN_MAX_CODE_LEN)) as usize & (TABLE_SIZE - 1)
-        } else {
-            (acc << (HUFFMAN_MAX_CODE_LEN - have)) as usize & (TABLE_SIZE - 1)
-        };
-        let l = u32::from(len_tab[peek]);
-        if l == 0 {
+    let mut o = 0usize;
+    while o + 1 < n && next + 8 <= bits.len() {
+        let w = u64::from_be_bytes(bits[next..next + 8].try_into().expect("bounds checked"));
+        acc |= w >> have;
+        next += ((63 - have) >> 3) as usize;
+        have |= 56;
+        let e = tab.entry((acc >> (64 - HUFFMAN_MAX_CODE_LEN)) as usize);
+        if e == 0 {
             return Err(EntropyError("invalid huffman code"));
         }
-        if l > have {
-            return Err(EntropyError("huffman bitstream truncated"));
+        let ltot = (e >> 20) & 0x1F;
+        out[o] = e as u8;
+        out[o + 1] = (e >> 8) as u8;
+        o += 1 + ((e >> 25) & 1) as usize;
+        acc <<= ltot;
+        have -= ltot;
+    }
+
+    // Careful tail: byte-accurate refill, exact end-of-stream checks.
+    // The left-aligned accumulator converts to the low-aligned reader
+    // exactly (same counted bits, same byte cursor, same consumed-bit
+    // total 8·next − have).
+    let mut br = BitReader {
+        acc: if have > 0 { acc >> (64 - have) } else { 0 },
+        have,
+        next,
+    };
+    while o < n {
+        br.refill(bits);
+        let e = tab.entry(br.peek());
+        if e == 0 {
+            return Err(EntropyError("invalid huffman code"));
         }
-        have -= l;
-        *slot = sym_tab[peek];
+        let ltot = (e >> 20) & 0x1F;
+        if e & (1 << 25) != 0 && ltot <= br.have && o + 1 < n {
+            // Two symbols per lookup: output is sequential here, so both
+            // land directly.
+            out[o] = e as u8;
+            out[o + 1] = (e >> 8) as u8;
+            o += 2;
+            br.have -= ltot;
+        } else {
+            let l1 = (e >> 16) & 0xF;
+            if l1 > br.have {
+                return Err(EntropyError("huffman bitstream truncated"));
+            }
+            out[o] = e as u8;
+            o += 1;
+            br.have -= l1;
+        }
     }
-    // All bytes must be consumed (modulo final-byte padding, which must
-    // be zero as the encoder writes it).
-    if next != bits.len() || have >= 8 {
-        return Err(EntropyError("huffman trailing bytes"));
-    }
-    if have > 0 && acc & ((1u64 << have) - 1) != 0 {
-        return Err(EntropyError("huffman padding not zero"));
-    }
-    Ok(())
+    br.finish(bits)
 }
 
 /// Optimal code lengths for `freq`, then capped to [`LIMIT`] with a
 /// Kraft-sum repair. Zero-frequency symbols get length 0.
-fn build_lengths(freq: &[u32; 256], lens: &mut [u8; 256]) {
+pub(crate) fn build_lengths(freq: &[u32; 256], lens: &mut [u8; 256]) {
     let mut leaves = [(0u32, 0u16); 256];
     let mut n = 0usize;
     for (s, &f) in freq.iter().enumerate() {
@@ -250,7 +456,7 @@ fn build_lengths(freq: &[u32; 256], lens: &mut [u8; 256]) {
 
 /// Canonical code values from lengths: codes are assigned in `(length,
 /// symbol)` order, the shortest length starting at 0.
-fn assign_codes(lens: &[u8; 256]) -> [u16; 256] {
+pub(crate) fn assign_codes(lens: &[u8; 256]) -> [u16; 256] {
     let mut bl_count = [0u32; LIMIT as usize + 1];
     for &l in lens {
         if l > 0 {
@@ -279,7 +485,7 @@ mod tests {
 
     fn roundtrip(raw: &[u8]) -> Option<Vec<u8>> {
         let mut comp = Vec::new();
-        if !encode(raw, &mut comp) {
+        if !encode(Tier::detect(), raw, &mut comp) {
             return None;
         }
         assert!(comp.len() < raw.len());
@@ -308,7 +514,10 @@ mod tests {
             .map(|i| (i.wrapping_mul(2654435761)) as u8)
             .collect();
         let mut comp = Vec::new();
-        assert!(!encode(&raw, &mut comp), "8-bit-entropy data cannot win");
+        assert!(
+            !encode(Tier::detect(), &raw, &mut comp),
+            "8-bit-entropy data cannot win"
+        );
         assert!(comp.is_empty(), "a refused encode must append nothing");
     }
 
@@ -356,10 +565,25 @@ mod tests {
     fn nonzero_padding_rejected() {
         let raw: Vec<u8> = (0..600u32).map(|i| (i % 5) as u8).collect();
         let mut comp = Vec::new();
-        assert!(encode(&raw, &mut comp));
+        assert!(encode(Tier::detect(), &raw, &mut comp));
         let last = comp.len() - 1;
         comp[last] |= 1; // encode pads the final byte with zero bits
         let mut back = vec![0u8; raw.len()];
         assert!(decode(&comp, &mut back).is_err());
+    }
+
+    #[test]
+    fn multi_symbol_entries_cover_short_codes() {
+        // Two symbols at depth 1: every 12-bit prefix decodes two
+        // symbols per hit.
+        let mut lens = [0u8; 256];
+        lens[0] = 1;
+        lens[1] = 1;
+        let tab = DecodeTable::build(&lens, true).unwrap();
+        for p in 0..TABLE_SIZE {
+            let e = tab.entry(p);
+            assert_ne!(e & (1 << 25), 0, "prefix {p:#x} should be 2-symbol");
+            assert_eq!((e >> 20) & 0x1F, 2, "two depth-1 codes consume 2 bits");
+        }
     }
 }

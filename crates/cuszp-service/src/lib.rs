@@ -213,7 +213,7 @@ impl ConnBufs {
                 self.scratch.warm_for::<f32>(elems, self.codec);
                 if self.tenant.hybrid {
                     self.hs
-                        .warm_for::<f32>(elems, self.codec, DEFAULT_CHUNK_BLOCKS);
+                        .warm_for::<f32>(elems, self.codec, hybrid::AUTO_CHUNK_MAX_BLOCKS);
                 }
                 (
                     fast::max_stream_bytes::<f32>(elems, self.codec),
@@ -225,7 +225,7 @@ impl ConnBufs {
                 self.scratch.warm_for::<f64>(elems, self.codec);
                 if self.tenant.hybrid {
                     self.hs
-                        .warm_for::<f64>(elems, self.codec, DEFAULT_CHUNK_BLOCKS);
+                        .warm_for::<f64>(elems, self.codec, hybrid::AUTO_CHUNK_MAX_BLOCKS);
                 }
                 (
                     fast::max_stream_bytes::<f64>(elems, self.codec),
@@ -299,7 +299,8 @@ fn process_compress_typed<T: WireFloat>(
     };
     if hybrid_stage {
         let r = fast::compress_into(scratch, floats, eb, codec, stage);
-        hybrid::encode(&r, DEFAULT_CHUNK_BLOCKS, hs, out);
+        let level = cuszp_core::simd::resolve_level(codec.simd);
+        hybrid::encode_at(&r, hybrid::auto_chunk_blocks(&r), level, hs, out);
         if out.len() >= stage.len() {
             out.clear();
             out.extend_from_slice(stage);

@@ -16,7 +16,7 @@
 
 use crate::error::StoreError;
 use baselines::{cuszx, cuzfp};
-use cuszp_core::hybrid::{self, HybridRef, HybridScratch, DEFAULT_CHUNK_BLOCKS, HYBRID_MAGIC};
+use cuszp_core::hybrid::{self, HybridRef, HybridScratch, HYBRID_MAGIC};
 use cuszp_core::{fast, CompressedRef, CuszpConfig, DType, FloatData, Scratch};
 use std::ops::Range;
 
@@ -259,8 +259,10 @@ impl CuszpHybridCodec {
             stage,
             hybrid: hs,
         } = scratch;
-        let r = fast::compress_into(cuszp, data, eb, Self::config(), stage);
-        hybrid::encode(&r, DEFAULT_CHUNK_BLOCKS, hs, out);
+        let cfg = Self::config();
+        let r = fast::compress_into(cuszp, data, eb, cfg, stage);
+        let level = cuszp_core::simd::resolve_level(cfg.simd);
+        hybrid::encode_at(&r, hybrid::auto_chunk_blocks(&r), level, hs, out);
         if out.len() >= stage.len() {
             // Whole-frame fallback: the second stage did not pay for its
             // table, so store the plain frame (never larger than CUSZP1).
@@ -308,7 +310,10 @@ impl ErrorBoundedCodec for CuszpHybridCodec {
         Self::config().block_len
     }
     fn access_granularity_blocks(&self) -> usize {
-        DEFAULT_CHUNK_BLOCKS
+        // Chunk size is auto-tuned per stream ([`hybrid::auto_chunk_blocks`]);
+        // report the ceiling so callers budgeting a 1-block read cover the
+        // coarsest framing the encoder may pick.
+        hybrid::AUTO_CHUNK_MAX_BLOCKS
     }
     fn encode(&self, data: &[f32], eb: f64, scratch: &mut CodecScratch, out: &mut Vec<u8>) {
         Self::encode_any(data, eb, scratch, out);
